@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark reproduces one paper table/figure: it runs the experiment
+once under pytest-benchmark timing, prints the paper-style rows, and
+archives them under ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result) -> None:
+    """Print and archive an ExperimentResult."""
+    text = result.to_table()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are seconds-long deterministic simulations; repeated
+    rounds would only burn time without adding information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _util module importable regardless of rootdir layout.
+sys.path.insert(0, str(Path(__file__).parent))

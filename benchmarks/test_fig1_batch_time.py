@@ -1,0 +1,49 @@
+"""Fig. 1 — benchmark training performance on the mobile testbed.
+
+Regenerates the per-batch time statistics of Fig. 1(a-b) and the
+frequency/temperature stabilisation of Fig. 1(c).
+"""
+
+import numpy as np
+
+from _util import record, run_once
+from repro.experiments import fig1
+
+
+def test_fig1_batch_time_and_freq_temp(benchmark):
+    result = run_once(benchmark, fig1.run, fig1.Fig1Config(n_samples=3000))
+    record(result)
+
+    rows = {(r["model"], r["device"]): r for r in result.rows}
+    # Paper shape (Fig. 1a): Pixel2 is the fastest LeNet device and the
+    # Nexus 6P throttles under sustained load.
+    lenet_means = {
+        d: rows[("lenet", d)]["mean_batch_s"]
+        for d in ("pixel2", "nexus6", "mate10", "nexus6p")
+    }
+    assert min(lenet_means, key=lenet_means.get) == "pixel2"
+    assert rows[("lenet", "nexus6p")]["throttled"]
+    # Fig. 1b: VGG6 flips Nexus6 vs Mate10.
+    assert (
+        rows[("vgg6", "mate10")]["mean_batch_s"]
+        < rows[("vgg6", "nexus6")]["mean_batch_s"]
+    )
+    # Fig. 1c: every device stabilises below 60 C with the interactive
+    # governor + thermal management.
+    assert all(r["peak_temp_c"] < 60.0 for r in result.rows)
+
+
+def test_fig1c_freq_temp_trace(benchmark):
+    """The Fig. 1(c) series itself: frequency falls as temperature rises
+    on the throttling device."""
+
+    def series():
+        trace = fig1.collect_trace("nexus6p", "vgg6", 3000)
+        return fig1.freq_temp_series(trace, sample_every_s=5.0)
+
+    s = run_once(benchmark, series)
+    temps = s["temp_c"]
+    freqs = s["freq_ghz"]
+    assert temps.max() > 38.0
+    # mean frequency after throttling is well below the cold-phase mean
+    assert freqs[-10:].mean() < freqs[:3].mean()

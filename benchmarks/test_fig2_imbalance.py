@@ -1,0 +1,34 @@
+"""Fig. 2 — impact of IID data imbalance on FL accuracy."""
+
+import numpy as np
+
+from _util import record, run_once
+from repro.experiments import fig2
+from repro.experiments.flruns import FLRunConfig
+
+
+def test_fig2_imbalance_accuracy(benchmark):
+    cfg = fig2.Fig2Config(
+        ratios=(0.0, 0.25, 0.5, 0.75, 1.0),
+        n_users=10,
+        repeats=2,
+        fl=FLRunConfig(rounds=10),
+    )
+    result = run_once(benchmark, fig2.run, cfg)
+    record(result)
+
+    for ds in ("mnist_mini", "cifar10_mini"):
+        fed = [
+            r["accuracy"]
+            for r in result.rows
+            if r["dataset"] == ds and r["setting"] == "federated"
+        ]
+        central = [
+            r["accuracy"]
+            for r in result.rows
+            if r["dataset"] == ds and r["setting"] == "centralized"
+        ][0]
+        # Paper shape: the accuracy-vs-imbalance curve is flat...
+        assert max(fed) - min(fed) < 0.06, ds
+        # ...and close to the centralized reference.
+        assert min(fed) > central - 0.08, ds

@@ -1,0 +1,26 @@
+"""Fig. 3 — impact of non-IID data on model accuracy."""
+
+from _util import record, run_once
+from repro.experiments import fig3
+from repro.experiments.flruns import FLRunConfig
+
+
+def test_fig3_noniid_severity_and_outliers(benchmark):
+    cfg = fig3.Fig3Config(
+        dataset="cifar10_mini",
+        nclass_values=(2, 4, 6, 8),
+        repeats=3,
+        fl=FLRunConfig(rounds=10),
+    )
+    result = run_once(benchmark, fig3.run, cfg)
+    record(result)
+
+    by = {r["setting"]: r["accuracy"] for r in result.rows}
+    # Fig. 3(a): fewer classes per user -> lower accuracy, with a
+    # substantial gap between the 2-class and 8-class extremes.
+    assert by["8-class"] > by["2-class"] + 0.04
+    assert by["8-class"] >= by["4-class"] - 0.02
+    # Fig. 3(b): Missing ranks lowest — excluding a one-class outlier
+    # that holds an otherwise-absent class costs accuracy.
+    assert by["missing"] < by["separate"]
+    assert by["missing"] < by["merge"]

@@ -1,0 +1,35 @@
+"""Fig. 4 — two-step performance profiling."""
+
+from _util import record, run_once
+from repro.experiments import fig4
+
+
+def test_fig4_two_step_profiler(benchmark):
+    result = run_once(benchmark, fig4.run)
+    record(result)
+
+    r2s = [
+        r["value"] for r in result.rows if str(r["quantity"]).startswith("r2")
+    ]
+    # Fig. 4(a): time is near-linear in (conv, dense) parameters.
+    assert all(v > 0.95 for v in r2s)
+    # Fig. 4(b): the step-2 curve tracks direct measurement with a small
+    # gap for the held-out LeNet architecture.
+    err = [
+        r["value"] for r in result.rows if r["quantity"] == "mean_rel_error"
+    ][0]
+    assert err < 0.1
+
+
+def test_fig4_profiler_on_throttling_device(benchmark):
+    """Same pipeline on the Nexus 6P: fits remain usable (the paper
+    notes 'a small gap' — throttling makes this the worst case)."""
+    cfg = fig4.Fig4Config(device="nexus6p")
+    result = run_once(benchmark, fig4.run, cfg)
+    record_name = result.name + "_nexus6p"
+    result.name = record_name
+    record(result)
+    err = [
+        r["value"] for r in result.rows if r["quantity"] == "mean_rel_error"
+    ][0]
+    assert err < 0.5

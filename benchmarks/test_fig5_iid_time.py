@@ -1,0 +1,54 @@
+"""Fig. 5 — computation time per global update, IID data.
+
+The headline result: Fed-LBAP vs Proportional/Random/Equal across all
+(testbed, dataset, model) combinations.
+"""
+
+import numpy as np
+
+from _util import record, run_once
+from repro.experiments import fig5
+
+
+def test_fig5_iid_makespan_grid(benchmark):
+    result = run_once(
+        benchmark, fig5.run, fig5.Fig5Config(random_repeats=3)
+    )
+    record(result)
+
+    # Fed-LBAP wins every cell.
+    for row in result.rows:
+        best = min(row["proportional"], row["random"], row["equal"])
+        assert row["fed-lbap"] <= best, row
+
+    # Largest gains on testbed 2 (worst-case Nexus6P stragglers),
+    # especially for VGG6 where the sustained-load cliff engages.
+    speedups = {
+        (r["dataset"], r["model"], r["testbed"]): r["speedup"]
+        for r in result.rows
+    }
+    assert speedups[("mnist", "vgg6", 2)] > 3.0
+    vs_equal = {
+        (r["dataset"], r["model"], r["testbed"]): r["equal"] / r["fed-lbap"]
+        for r in result.rows
+    }
+    assert vs_equal[("mnist", "vgg6", 2)] > 5.0
+
+    # Fed-LBAP exploits added devices: time falls from testbed 1 -> 3.
+    for ds in ("mnist", "cifar10"):
+        for model in ("lenet", "vgg6"):
+            t1 = [
+                r["fed-lbap"]
+                for r in result.rows
+                if r["dataset"] == ds
+                and r["model"] == model
+                and r["testbed"] == 1
+            ][0]
+            t3 = [
+                r["fed-lbap"]
+                for r in result.rows
+                if r["dataset"] == ds
+                and r["model"] == model
+                and r["testbed"] == 3
+            ][0]
+            assert t3 < t1, (ds, model)

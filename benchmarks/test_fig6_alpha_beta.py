@@ -1,0 +1,41 @@
+"""Fig. 6 — effectiveness of alpha and beta on the S(I)-S(III)
+scenarios: training time (top panels) and accuracy (bottom panels)."""
+
+from _util import record, run_once
+from repro.experiments import fig6
+from repro.experiments.flruns import FLRunConfig
+
+
+def test_fig6_alpha_beta_sweeps(benchmark):
+    cfg = fig6.Fig6Config(fl=FLRunConfig(rounds=8))
+    result = run_once(benchmark, fig6.run, cfg)
+    record(result)
+
+    def cell(scen, alpha, beta, key):
+        return [
+            r[key]
+            for r in result.rows
+            if r["scenario"] == scen
+            and r["alpha"] == alpha
+            and r["beta"] == beta
+        ][0]
+
+    for scen in ("S1", "S2", "S3"):
+        # beta=0: training time trends up as alpha concentrates load on
+        # fewer, class-rich devices.
+        assert cell(scen, 5000.0, 0.0, "makespan_s") >= cell(
+            scen, 100.0, 0.0, "makespan_s"
+        )
+
+    # S1/S2 hold unique-class outliers: beta=2 restores full coverage at
+    # small alpha and lifts accuracy.
+    for scen in ("S1", "S2"):
+        assert cell(scen, 100.0, 2.0, "coverage") == 1.0
+        assert cell(scen, 100.0, 2.0, "coverage") >= cell(
+            scen, 100.0, 0.0, "coverage"
+        )
+        assert cell(scen, 100.0, 2.0, "accuracy") > cell(
+            scen, 100.0, 0.0, "accuracy"
+        ) - 0.02
+        # high alpha excludes the unique-class holder: coverage falls
+        assert cell(scen, 5000.0, 0.0, "coverage") < 1.0

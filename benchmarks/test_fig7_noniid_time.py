@@ -1,0 +1,27 @@
+"""Fig. 7 — computation time per global update, non-IID data."""
+
+import numpy as np
+
+from _util import record, run_once
+from repro.experiments import fig7
+
+
+def test_fig7_noniid_makespan_grid(benchmark):
+    result = run_once(
+        benchmark, fig7.run, fig7.Fig7Config(permutations=2)
+    )
+    record(result)
+
+    # Fed-MinAvg keeps an overall speedup despite the non-IID
+    # constraints (paper: 1.3-8x depending on testbed/dataset).
+    for row in result.rows:
+        assert row["speedup"] > 1.0, row
+
+    speedups = {
+        (r["dataset"], r["model"], r["testbed"]): r["speedup"]
+        for r in result.rows
+    }
+    # Straggler testbed 2 shows the biggest LeNet gains.
+    assert speedups[("mnist", "lenet", 2)] > speedups[("mnist", "lenet", 1)]
+    # Mean speedup across the grid is comfortably above 1.
+    assert float(np.mean(list(speedups.values()))) > 1.3

@@ -1,0 +1,26 @@
+"""Table II — per-epoch training time with communication overhead."""
+
+from _util import record, run_once
+from repro.experiments import table2
+
+
+def test_table2_epoch_times(benchmark):
+    result = run_once(benchmark, table2.run)
+    record(result)
+
+    wifi = [r for r in result.rows if r["link"] == "wifi"]
+    # Simulated totals track the paper within 20% across the grid.
+    for row in wifi:
+        assert abs(row["total_s"] - row["paper_s"]) / row["paper_s"] < 0.2
+    # Observation 3: communication is a small fraction (max ~15%, LTE+VGG6).
+    assert max(r["comm_pct"] for r in result.rows) < 16.0
+    assert min(r["comm_pct"] for r in result.rows) > 0.05
+    # Observation 4-style straggler gap: the worst LeNet device needs
+    # >60% more than the mean at 3K samples.
+    lenet3k = [
+        r["total_s"]
+        for r in wifi
+        if r["model"] == "lenet" and r["samples"] == 3000
+    ]
+    mean = sum(lenet3k) / len(lenet3k)
+    assert (max(lenet3k) - mean) / mean > 0.4

@@ -1,0 +1,41 @@
+"""Table IV — the Fed-MinAvg schedules for S(I)-S(III) under the four
+(alpha, beta) parameter points."""
+
+from _util import record, run_once
+from repro.experiments import table4
+
+
+def test_table4_minavg_schedules(benchmark):
+    result = run_once(
+        benchmark, table4.run, table4.Table4Config(shard_size=100)
+    )
+    record(result)
+
+    def row(scen, device):
+        return [
+            r
+            for r in result.rows
+            if r["scenario"] == scen and r["device"] == device
+        ][0]
+
+    # Every column allocates the full 50K CIFAR10 set.
+    for scen in ("S1", "S2", "S3"):
+        rows = [r for r in result.rows if r["scenario"] == scen]
+        for col in ("p1", "p2", "p3", "p4"):
+            assert abs(sum(r[col] for r in rows) - 50.0) < 0.2
+
+    # Paper shapes:
+    # S1 Pixel2 (unique class 7, only 2 classes): included only by beta.
+    p2 = row("S1", "pixel2(2)")
+    assert p2["p3"] > 0.0  # (alpha=100, beta=2)
+    assert p2["p2"] == 0.0  # (alpha=5000, beta=0): excluded
+
+    # S2's one-class Nexus6P(b) gets nothing at high alpha.
+    n6pb = row("S2", "nexus6p(3)")
+    assert n6pb["p2"] == 0.0 and n6pb["p4"] == 0.0
+
+    # High alpha concentrates on the many-class devices.
+    s3_rows = [r for r in result.rows if r["scenario"] == "S3"]
+    nonzero_p1 = sum(1 for r in s3_rows if r["p1"] > 0)
+    nonzero_p2 = sum(1 for r in s3_rows if r["p2"] > 0)
+    assert nonzero_p2 <= nonzero_p1

@@ -1,0 +1,32 @@
+"""Table V — model accuracy per scheduler under non-IID data."""
+
+import numpy as np
+
+from _util import record, run_once
+from repro.experiments import table5
+from repro.experiments.flruns import FLRunConfig
+
+
+def test_table5_noniid_accuracy_grid(benchmark):
+    cfg = table5.Table5Config(fl=FLRunConfig(rounds=10))
+    result = run_once(benchmark, table5.run, cfg)
+    record(result)
+
+    losses = [r["minavg_loss_vs_best"] for r in result.rows]
+    # Paper shape: Fed-MinAvg stays close to the best baseline (no
+    # accuracy collapse from time-optimal scheduling); at mini scale the
+    # per-cell training noise is a few points, so we bound the mean
+    # tightly and each cell loosely.
+    assert float(np.mean(losses)) < 0.04
+    assert max(losses) < 0.12
+
+    # Vertical trend: accuracy climbs (or holds) with more users for the
+    # best baseline — the paper's "gradient diversity" observation.
+    for ds in ("mnist", "cifar10"):
+        rows = [
+            r
+            for r in result.rows
+            if r["dataset"] == ds and r["model"] == "lenet"
+        ]
+        by_tb = {r["testbed"]: max(r["random"], r["equal"]) for r in rows}
+        assert by_tb[3] > by_tb[1] - 0.05

@@ -1,0 +1,73 @@
+"""Straggler analysis: reproduce the paper's motivation (Sec. III).
+
+Traces per-batch training time, CPU frequency and temperature on each
+simulated phone, showing how thermal management creates stragglers —
+in particular the Snapdragon-810 Nexus 6P, whose big cores go offline
+under sustained load.
+
+Run:  python examples/straggler_analysis.py
+"""
+
+import numpy as np
+
+from repro.device import DEVICE_NAMES, TrainingWorkload, make_device
+from repro.models import MNIST_SHAPE, lenet, model_training_flops, vgg6
+
+
+def trace_device(name: str, model, n_samples: int = 3000) -> None:
+    device = make_device(name, seed=1)
+    workload = TrainingWorkload.from_model(model, n_samples)
+    trace = device.run_workload(workload)
+
+    bt = trace.batch_times
+    freqs = trace.mean_freq_ghz()
+    offline_any = any((~arr).any() for arr in trace.online.values())
+    print(
+        f"  {name:8s}  epoch={trace.total_time_s:7.1f}s  "
+        f"batch={bt.mean() * 1000:6.1f}±{bt.std() * 1000:5.1f} ms  "
+        f"peakT={trace.peak_temp_c():5.1f}C  "
+        f"freq={', '.join(f'{k}={v:.2f}GHz' for k, v in freqs.items())}"
+        f"{'  [cores went OFFLINE]' if offline_any else ''}"
+    )
+
+
+def straggler_gap(model, n_samples: int) -> None:
+    times = []
+    for name in DEVICE_NAMES:
+        device = make_device(name, jitter=0.0)
+        workload = TrainingWorkload.from_model(model, n_samples)
+        times.append(device.run_workload(workload, record=False).total_time_s)
+    mean = float(np.mean(times))
+    gap = (max(times) - mean) / mean
+    print(
+        f"  {model.name:6s} @ {n_samples} samples: mean={mean:7.1f}s  "
+        f"max={max(times):7.1f}s  straggler needs {100 * gap:.0f}% extra"
+    )
+
+
+def main() -> None:
+    lenet_model = lenet()
+    vgg_model = vgg6(input_shape=MNIST_SHAPE)
+
+    print("Per-device traces, LeNet on 3000 MNIST-scale samples:")
+    for name in DEVICE_NAMES:
+        trace_device(name, lenet_model)
+
+    print("\nPer-device traces, VGG6 on 3000 samples:")
+    for name in DEVICE_NAMES:
+        trace_device(name, vgg_model)
+
+    print("\nStraggler gap (Observation 4: +62% LeNet / +109% VGG6):")
+    straggler_gap(lenet_model, 3000)
+    straggler_gap(vgg_model, 3000)
+
+    print("\nNexus 6P superlinear scaling (Table II: 69s -> 220s):")
+    for n in (3000, 6000, 12000):
+        device = make_device("nexus6p", jitter=0.0)
+        w = TrainingWorkload.from_model(lenet_model, n)
+        t = device.run_workload(w, record=False).total_time_s
+        print(f"  {n:6d} samples: {t:7.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim: enables editable installs in offline environments
+that lack the `wheel` package required by PEP 517 builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *Optimize Scheduling of Federated Learning on
+Battery-powered Mobile Devices* (Wang, Wei, Zhou; IEEE IPDPS 2020).
+
+Public API highlights:
+
+* :mod:`repro.core` — Fed-LBAP / Fed-MinAvg schedulers and baselines.
+* :mod:`repro.device` — calibrated mobile-SoC simulator (Table I phones).
+* :mod:`repro.profiling` — the two-step training-time profiler.
+* :mod:`repro.federated` — FedAvg simulation with a device-driven clock.
+* :mod:`repro.data` / :mod:`repro.models` — datasets, partitioners and
+  the NumPy training stack (LeNet / VGG6).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from . import core, data, device, federated, models, network, profiling
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "device",
+    "federated",
+    "models",
+    "network",
+    "profiling",
+    "__version__",
+]

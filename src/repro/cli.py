@@ -1,0 +1,247 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro list                       # list experiments
+    python -m repro run fig5                   # reproduce one figure/table
+    python -m repro run table2 fig4            # several at once
+    python -m repro run all                    # the full evaluation
+    python -m repro trace nexus6p --model vgg6 # Fig. 1(c)-style trace
+    python -m repro devices                    # calibrated testbed summary
+
+``run`` uses each experiment's default (fast) configuration and prints
+the paper-style rows; ``--out DIR`` additionally archives them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from . import experiments as E
+from .device.registry import DEVICE_NAMES, TESTBEDS, build_spec, make_device
+from .device.workload import TrainingWorkload
+from .experiments.ascii_plot import line_plot, multi_series
+from .models.flops import model_training_flops
+from .models.zoo import MNIST_SHAPE, build_model
+
+#: experiment registry: name -> module (each exposes run())
+EXPERIMENTS: Dict[str, object] = {
+    "fig1": E.fig1,
+    "table2": E.table2,
+    "fig2": E.fig2,
+    "fig3": E.fig3,
+    "fig4": E.fig4,
+    "fig5": E.fig5,
+    "table3": E.table3,
+    "fig6": E.fig6,
+    "table4": E.table4,
+    "fig7": E.fig7,
+    "table5": E.table5,
+}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments (paper table/figure -> module):")
+    for name, mod in EXPERIMENTS.items():
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {doc}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    targets: List[str] = args.experiments
+    if "all" in targets:
+        targets = list(EXPERIMENTS)
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in targets:
+        t0 = time.time()
+        result = EXPERIMENTS[name].run()
+        text = result.to_table()
+        print(text)
+        print(f"[{name} finished in {time.time() - t0:.1f} s]\n")
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    print("calibrated device registry (Table I):")
+    for name in DEVICE_NAMES:
+        spec = build_spec(name)
+        clusters = ", ".join(
+            f"{c.n_cores}x{c.freq_max_ghz}GHz {c.name}"
+            for c in spec.clusters
+        )
+        trips = len(spec.thermal.trip_points)
+        print(
+            f"  {name:8s} {spec.soc:15s} {clusters:32s} "
+            f"peak={spec.peak_gflops():5.1f} GFLOPS  trips={trips}"
+        )
+    print("\ntestbeds (Sec. VII):")
+    for tb, names in TESTBEDS.items():
+        print(f"  {tb}: {', '.join(names)}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    name = args.device
+    if name not in DEVICE_NAMES:
+        print(
+            f"unknown device {name!r}; one of {sorted(DEVICE_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    model = build_model(args.model, input_shape=MNIST_SHAPE)
+    device = make_device(name, seed=0)
+    workload = TrainingWorkload(
+        flops_per_sample=model_training_flops(model),
+        n_samples=args.samples,
+        batch_size=20,
+        model_name=model.name,
+    )
+    trace = device.run_workload(workload)
+    print(
+        f"{name} running {args.model} on {args.samples} samples: "
+        f"{trace.total_time_s:.1f} s, peak {trace.peak_temp_c():.1f} C"
+    )
+    print()
+    print(
+        line_plot(
+            trace.temp_c,
+            title="die temperature over the run (C)",
+            y_label="time ->",
+        )
+    )
+    print()
+    print(
+        multi_series(
+            {k: v for k, v in trace.freq_ghz.items()},
+            title="cluster frequency over the run (GHz; 0 = offline)",
+        )
+    )
+    print()
+    print(
+        line_plot(
+            trace.batch_times * 1000.0,
+            title="per-batch training time (ms) — Fig. 1(a/b) style",
+            y_label="batch ->",
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Assemble archived benchmark tables into one reproduction report."""
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        print(
+            f"no results directory at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no result tables in {results_dir}", file=sys.stderr)
+        return 2
+    # paper artifacts first, then ablations/extensions
+    def order(p: Path):
+        name = p.stem
+        paper_order = [
+            "fig1", "table2", "fig2", "fig3", "fig4",
+            "fig5", "table3", "fig6", "table4", "fig7", "table5",
+        ]
+        if name in paper_order:
+            return (0, paper_order.index(name))
+        return (1, name)
+
+    sections = []
+    for path in sorted(files, key=order):
+        sections.append(path.read_text().rstrip())
+    report = (
+        "REPRODUCTION REPORT\n"
+        "Optimize Scheduling of Federated Learning on Battery-powered "
+        "Mobile Devices (IPDPS 2020)\n"
+        f"{len(files)} result tables from benchmarks/results/\n"
+        + "=" * 72
+        + "\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Optimize Scheduling of Federated "
+        "Learning on Battery-powered Mobile Devices' (IPDPS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments by name")
+    p_run.add_argument(
+        "experiments", nargs="+", help="experiment names or 'all'"
+    )
+    p_run.add_argument(
+        "--out", default=None, help="directory to archive result tables"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_dev = sub.add_parser("devices", help="show the calibrated testbed")
+    p_dev.set_defaults(func=cmd_devices)
+
+    p_rep = sub.add_parser(
+        "report", help="assemble archived benchmark tables into a report"
+    )
+    p_rep.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of archived tables (default benchmarks/results)",
+    )
+    p_rep.add_argument(
+        "--out", default=None, help="write the report to a file"
+    )
+    p_rep.set_defaults(func=cmd_report)
+
+    p_tr = sub.add_parser(
+        "trace", help="trace one device under sustained training"
+    )
+    p_tr.add_argument("device", help=f"one of {sorted(DEVICE_NAMES)}")
+    p_tr.add_argument(
+        "--model", default="lenet", help="zoo model (default lenet)"
+    )
+    p_tr.add_argument(
+        "--samples", type=int, default=3000, help="samples per epoch"
+    )
+    p_tr.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Baseline schedulers from the paper's evaluation (Sec. VII).
+
+* **Equal** — every user gets the same share, the FedAvg layout.
+* **Random** — a uniformly random composition of the shards.
+* **Proportional** — shares proportional to "the processing power
+  measured by the mean CPU frequencies per core".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..device.specs import DeviceSpec
+from .schedule import Schedule
+
+__all__ = [
+    "equal_schedule",
+    "random_schedule",
+    "proportional_schedule",
+    "mean_cpu_freq_per_core",
+]
+
+
+def _spread_remainder(base: np.ndarray, total: int) -> np.ndarray:
+    """Adjust an integer allocation to sum exactly to ``total`` by
+    adding/removing single shards, largest users first."""
+    base = base.astype(np.int64)
+    drift = total - int(base.sum())
+    order = np.argsort(-base)
+    i = 0
+    n = len(base)
+    while drift != 0:
+        j = order[i % n]
+        if drift > 0:
+            base[j] += 1
+            drift -= 1
+        elif base[j] > 0:
+            base[j] -= 1
+            drift += 1
+        i += 1
+    return base
+
+
+def equal_schedule(
+    n_users: int, total_shards: int, shard_size: int
+) -> Schedule:
+    """FedAvg-style equal split (remainder on the first users)."""
+    if n_users <= 0 or total_shards <= 0:
+        raise ValueError("n_users and total_shards must be positive")
+    base = total_shards // n_users
+    counts = np.full(n_users, base, dtype=np.int64)
+    counts[: total_shards - base * n_users] += 1
+    return Schedule(counts, shard_size, algorithm="equal")
+
+
+def random_schedule(
+    n_users: int,
+    total_shards: int,
+    shard_size: int,
+    rng: np.random.Generator,
+) -> Schedule:
+    """Uniformly random partition: each shard lands on a random user."""
+    if n_users <= 0 or total_shards <= 0:
+        raise ValueError("n_users and total_shards must be positive")
+    counts = rng.multinomial(total_shards, np.full(n_users, 1.0 / n_users))
+    return Schedule(
+        counts.astype(np.int64), shard_size, algorithm="random"
+    )
+
+
+def mean_cpu_freq_per_core(spec: DeviceSpec) -> float:
+    """Mean max frequency per core across a device's clusters — the
+    paper's Proportional heuristic's notion of processing power."""
+    total_cores = sum(c.n_cores for c in spec.clusters)
+    weighted = sum(c.n_cores * c.freq_max_ghz for c in spec.clusters)
+    return weighted / total_cores
+
+
+def proportional_schedule(
+    specs: Sequence[DeviceSpec],
+    total_shards: int,
+    shard_size: int,
+    weights: Optional[Sequence[float]] = None,
+) -> Schedule:
+    """Shares proportional to mean CPU frequency per core.
+
+    ``weights`` overrides the frequency heuristic with arbitrary
+    processing-power estimates (used by ablations).
+    """
+    if total_shards <= 0:
+        raise ValueError("total_shards must be positive")
+    if weights is None:
+        weights = [mean_cpu_freq_per_core(s) for s in specs]
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("need at least one weight")
+    if (w <= 0).any():
+        raise ValueError("weights must be positive")
+    raw = w / w.sum() * total_shards
+    counts = _spread_remainder(np.floor(raw), total_shards)
+    return Schedule(counts, shard_size, algorithm="proportional")

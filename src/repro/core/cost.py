@@ -1,0 +1,122 @@
+"""Cost-matrix construction for the schedulers.
+
+Fed-LBAP consumes an ``n x s`` matrix ``C[j, k]`` — the cost for user
+``j`` to process ``k+1`` shards this round (compute plus one model
+push/pull). Fed-MinAvg consumes the same information as per-user time
+curves. Both can be built from:
+
+* **profiles** — the offline two-step regression (the deployment path:
+  the server schedules from profiles, reality may deviate), or
+* **oracles** — direct device simulation (used to quantify the
+  profile-vs-reality gap, Fig. 4b).
+
+Property 1 of the paper (cost non-decreasing in data size) is enforced
+by an isotonic pass, since a noisy profile could locally dip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..device.device import MobileDevice
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.network import Sequential
+from ..network.link import Link
+from ..network.transfer import round_comm_cost
+
+__all__ = [
+    "build_cost_matrix",
+    "curves_from_profiles",
+    "oracle_curves",
+    "comm_costs_for",
+    "enforce_property1",
+]
+
+
+def enforce_property1(costs: np.ndarray) -> np.ndarray:
+    """Make each row non-decreasing (cumulative max along shards)."""
+    return np.maximum.accumulate(costs, axis=-1)
+
+
+def comm_costs_for(
+    model: Sequential, links: Sequence[Link]
+) -> np.ndarray:
+    """Per-user round-trip communication seconds for one model."""
+    return np.array(
+        [round_comm_cost(model, link).total_s for link in links]
+    )
+
+
+def curves_from_profiles(
+    profiles: Sequence, model: Sequential
+) -> List[Callable[[float], float]]:
+    """One ``T_j(n_samples)`` callable per user from DeviceProfiles."""
+    return [p.time_curve(model) for p in profiles]
+
+
+def oracle_curves(
+    devices: Sequence[MobileDevice],
+    model: Sequential,
+    batch_size: int = 20,
+) -> List[Callable[[float], float]]:
+    """Ground-truth curves that run the device simulator per query.
+
+    Each call resets the device to a cold state first, so queries are
+    independent (the simulator is cheap; one query simulates one epoch).
+    """
+    flops = model_training_flops(model)
+
+    def make(dev: MobileDevice) -> Callable[[float], float]:
+        def curve(n_samples: float) -> float:
+            n = int(round(n_samples))
+            if n <= 0:
+                return 0.0
+            dev.reset()
+            w = TrainingWorkload(
+                flops_per_sample=flops,
+                n_samples=n,
+                batch_size=batch_size,
+                model_name=model.name,
+            )
+            return dev.run_workload(w, record=False).total_time_s
+
+        return curve
+
+    return [make(d) for d in devices]
+
+
+def build_cost_matrix(
+    time_curves: Sequence[Callable[[float], float]],
+    n_shards: int,
+    shard_size: int,
+    comm_costs: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Assemble the ``n x s`` Fed-LBAP cost matrix.
+
+    ``C[j, k]`` = time for user ``j`` to train ``(k+1) * shard_size``
+    samples, plus user ``j``'s communication cost if given. Rows are
+    made non-decreasing (Property 1).
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    n = len(time_curves)
+    if n == 0:
+        raise ValueError("need at least one user")
+    if comm_costs is not None and len(comm_costs) != n:
+        raise ValueError("one comm cost per user required")
+    c = np.empty((n, n_shards))
+    for j, curve in enumerate(time_curves):
+        for k in range(n_shards):
+            c[j, k] = curve(float((k + 1) * shard_size))
+        if comm_costs is not None:
+            c[j] += comm_costs[j]
+    if not np.isfinite(c).all():
+        raise ValueError("non-finite costs in matrix; check the profiles")
+    if (c < 0).any():
+        raise ValueError("negative costs in matrix; check the profiles")
+    return enforce_property1(c)

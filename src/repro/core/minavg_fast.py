@@ -1,0 +1,145 @@
+"""Vectorised Fed-MinAvg for affine time curves.
+
+:func:`repro.core.minavg.fed_minavg` accepts arbitrary time-curve
+callables, paying two Python-level costs per shard: a loop over users
+and a closure call per user. Profiles are affine in practice (the
+paper's step-2 regression is linear), which lets the whole inner step
+collapse into NumPy vector operations:
+
+* time term — maintained incrementally (``+= slope * d`` for the
+  winner);
+* Eq.-(6) accuracy term under the default ``"disjoint"`` semantics —
+  a per-user deduction counter updated by one masked vector add per
+  assignment (the pre-computed class-disjointness matrix column of the
+  winner).
+
+Produces identical schedules to the reference implementation (both
+break exact cost ties at the lowest user index; costs within the
+reference's 1e-12 tolerance of each other could in principle resolve
+differently, which random-instance equivalence testing has never
+observed) at ~20-50x the speed; see
+``benchmarks/test_ablations.py::TestMinavgScaling``. Non-affine curves
+or other semantics: use the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schedule import Schedule
+
+__all__ = ["fed_minavg_affine"]
+
+
+def fed_minavg_affine(
+    intercepts: Sequence[float],
+    slopes: Sequence[float],
+    user_classes: Sequence[Tuple[int, ...]],
+    total_shards: int,
+    shard_size: int,
+    num_classes: int,
+    alpha: float,
+    beta: float = 0.0,
+    capacities: Optional[Sequence[int]] = None,
+    comm_costs: Optional[Sequence[float]] = None,
+) -> Schedule:
+    """Fed-MinAvg for curves ``T_j(x) = intercepts[j] + slopes[j] * x``.
+
+    Semantics are fixed to the default ``"disjoint"`` reading of
+    Eq. (6); arguments otherwise mirror
+    :func:`repro.core.minavg.fed_minavg`.
+    """
+    a = np.asarray(intercepts, dtype=np.float64)
+    b = np.asarray(slopes, dtype=np.float64)
+    n = a.shape[0]
+    if n == 0:
+        raise ValueError("need at least one user")
+    if b.shape != (n,) or len(user_classes) != n:
+        raise ValueError("intercepts/slopes/classes lengths differ")
+    if total_shards <= 0 or shard_size <= 0:
+        raise ValueError("total_shards and shard_size must be positive")
+    caps = (
+        np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        if capacities is None
+        else np.asarray(capacities, dtype=np.int64)
+    )
+    if caps.shape != (n,):
+        raise ValueError("capacities length must match users")
+    if int(np.minimum(caps, total_shards).sum()) < total_shards:
+        raise ValueError(
+            "infeasible: total capacity below the requested shards"
+        )
+    comm = (
+        np.zeros(n) if comm_costs is None else np.asarray(comm_costs, float)
+    )
+    if comm.shape != (n,):
+        raise ValueError("comm_costs length must match users")
+
+    class_sets = [frozenset(int(c) for c in cs) for cs in user_classes]
+    for j, cs in enumerate(class_sets):
+        if not cs:
+            raise ValueError(f"user {j} holds no classes")
+        if any(not 0 <= c < num_classes for c in cs):
+            raise ValueError(f"user {j} holds out-of-range classes")
+    base = alpha * num_classes / np.array(
+        [len(cs) for cs in class_sets], dtype=np.float64
+    )
+    # disjoint[j, k] = users j and k share no class
+    disjoint = np.array(
+        [
+            [float(not (class_sets[j] & class_sets[k])) for k in range(n)]
+            for j in range(n)
+        ]
+    )
+    np.fill_diagonal(disjoint, 0.0)
+
+    d = float(shard_size)
+    shards = np.zeros(n, dtype=np.int64)
+    opened = np.zeros(n, dtype=bool)
+    closed = np.zeros(n, dtype=bool)
+    # time term at the *next* shard for each user: opened users are
+    # evaluated at (l_j + 1) shards, unopened at 1 shard + comm.
+    time_term = a + b * d + comm
+    discount = np.zeros(n)  # beta * disjoint_shards[j]
+
+    for _ in range(total_shards):
+        total_cost = np.where(
+            closed, np.inf, time_term + base - discount
+        )
+        j = int(np.argmin(total_cost))
+        if not np.isfinite(total_cost[j]):
+            raise RuntimeError(
+                "no assignable user left (all closed) before D exhausted"
+            )
+        shards[j] += 1
+        if not opened[j]:
+            opened[j] = True
+            # drop the opening comm cost; future evaluations are pure
+            # compute at (l_j + 1) shards
+            time_term[j] -= comm[j]
+        time_term[j] += b[j] * d
+        discount += beta * disjoint[:, j]
+        if shards[j] >= caps[j]:
+            closed[j] = True
+
+    covered = frozenset().union(
+        *(class_sets[j] for j in range(n) if shards[j] > 0)
+    )
+    schedule = Schedule(
+        shard_counts=shards,
+        shard_size=shard_size,
+        algorithm="fed-minavg",
+        meta={
+            "alpha": alpha,
+            "beta": beta,
+            "semantics": "disjoint",
+            "coverage": len(covered) / num_classes,
+            "fast_path": True,
+        },
+    )
+    schedule.validate_total(total_shards)
+    if capacities is not None:
+        schedule.validate_capacities(caps)
+    return schedule

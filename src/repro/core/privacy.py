@@ -1,0 +1,125 @@
+"""Privacy-preserving Fed-MinAvg (Sec. VI-A).
+
+"In practice, the users could truthfully report their accuracy cost
+instead of detailed U_j to reduce privacy leakage of class-level
+information." This module implements that deployment mode: the server
+receives only each user's scalar base accuracy cost ``alpha * K/|U_j|``
+(or any truthful scalar the user computes locally) — never the class
+sets themselves.
+
+The cost of the privacy: without class sets the server cannot evaluate
+the beta discount (it needs class relationships between users), so the
+discount degrades to a *user-reported* flag stream — each round a user
+may report "my classes are still underrepresented" (one bit, locally
+computable against the public class histogram the server broadcasts).
+With ``beta = 0`` the private mode is exactly equivalent to the full
+algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .schedule import Schedule
+
+__all__ = ["fed_minavg_private"]
+
+
+def fed_minavg_private(
+    time_curves: Sequence[Callable[[float], float]],
+    reported_costs: Sequence[float],
+    total_shards: int,
+    shard_size: int,
+    beta: float = 0.0,
+    discount_flags: Optional[Callable[[int, int], bool]] = None,
+    capacities: Optional[Sequence[int]] = None,
+    comm_costs: Optional[Sequence[float]] = None,
+) -> Schedule:
+    """Fed-MinAvg from scalar cost reports only.
+
+    Parameters
+    ----------
+    time_curves:
+        Per-user ``T_j(n_samples)`` (from profiles — no class info).
+    reported_costs:
+        Per-user ``alpha * F_j`` base values, computed *locally* by each
+        user from its own class count (the server never sees ``U_j``).
+    beta, discount_flags:
+        Optional one-bit feedback channel: ``discount_flags(j, D_u)``
+        returns True when user ``j`` (locally) determines its classes
+        are still missing from the public coverage summary; the server
+        then applies the ``beta * D_u`` deduction. ``None`` disables the
+        discount (pure-scalar mode).
+    """
+    n = len(time_curves)
+    if n == 0:
+        raise ValueError("need at least one user")
+    reported = np.asarray(reported_costs, dtype=np.float64)
+    if reported.shape != (n,):
+        raise ValueError("one reported cost per user required")
+    if total_shards <= 0 or shard_size <= 0:
+        raise ValueError("total_shards and shard_size must be positive")
+    caps = (
+        np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        if capacities is None
+        else np.asarray(capacities, dtype=np.int64)
+    )
+    if caps.shape != (n,):
+        raise ValueError("capacities length must match users")
+    if int(np.minimum(caps, total_shards).sum()) < total_shards:
+        raise ValueError(
+            "infeasible: total capacity below the requested shards"
+        )
+    comm = (
+        np.zeros(n) if comm_costs is None else np.asarray(comm_costs, float)
+    )
+    if comm.shape != (n,):
+        raise ValueError("comm_costs length must match users")
+
+    shards = np.zeros(n, dtype=np.int64)
+    opened = np.zeros(n, dtype=bool)
+    closed = np.zeros(n, dtype=bool)
+    d_u = 0
+    for _ in range(total_shards):
+        best_j, best_cost = -1, math.inf
+        for j in range(n):
+            if closed[j]:
+                continue
+            f_j = reported[j]
+            if (
+                beta > 0
+                and discount_flags is not None
+                and discount_flags(j, d_u)
+            ):
+                f_j -= beta * d_u
+            if opened[j]:
+                t = time_curves[j](float((shards[j] + 1) * shard_size))
+            else:
+                t = time_curves[j](float(shard_size)) + comm[j]
+            total = t + f_j
+            if total < best_cost - 1e-12:
+                best_cost = total
+                best_j = j
+        if best_j < 0:
+            raise RuntimeError(
+                "no assignable user left (all closed) before D exhausted"
+            )
+        shards[best_j] += 1
+        opened[best_j] = True
+        d_u += 1
+        if shards[best_j] >= caps[best_j]:
+            closed[best_j] = True
+
+    schedule = Schedule(
+        shard_counts=shards,
+        shard_size=shard_size,
+        algorithm="fed-minavg-private",
+        meta={"beta": beta, "private": True},
+    )
+    schedule.validate_total(total_shards)
+    if capacities is not None:
+        schedule.validate_capacities(caps)
+    return schedule

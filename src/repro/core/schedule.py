@@ -1,0 +1,151 @@
+"""Schedule representation and evaluation.
+
+A *schedule* is an integer shard allocation across users: user ``j``
+trains ``shard_counts[j] * shard_size`` samples this round. Both the
+paper's algorithms and all baselines produce this shape; evaluation
+helpers compute the synchronous-round makespan and related metrics
+against any set of per-user time curves (profiled or simulated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Schedule", "evaluate_makespan", "RoundCost"]
+
+
+@dataclass
+class Schedule:
+    """An assignment of data shards to users.
+
+    Attributes
+    ----------
+    shard_counts:
+        Integer shards per user (0 = user sits the round out).
+    shard_size:
+        Samples per shard.
+    algorithm:
+        Which scheduler produced it (for reports).
+    meta:
+        Free-form parameters (alpha, beta, ...).
+    """
+
+    shard_counts: np.ndarray
+    shard_size: int
+    algorithm: str = "unknown"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.shard_counts = np.asarray(self.shard_counts, dtype=np.int64)
+        if self.shard_counts.ndim != 1:
+            raise ValueError("shard_counts must be 1-D")
+        if (self.shard_counts < 0).any():
+            raise ValueError("shard counts must be non-negative")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+
+    @property
+    def n_users(self) -> int:
+        return int(self.shard_counts.shape[0])
+
+    @property
+    def total_shards(self) -> int:
+        return int(self.shard_counts.sum())
+
+    @property
+    def total_samples(self) -> int:
+        return self.total_shards * self.shard_size
+
+    def samples_per_user(self) -> np.ndarray:
+        return self.shard_counts * self.shard_size
+
+    def participants(self) -> np.ndarray:
+        """Indices of users with non-zero workload."""
+        return np.flatnonzero(self.shard_counts > 0)
+
+    def validate_total(self, total_shards: int) -> None:
+        """Raise if the schedule does not allocate exactly the target."""
+        if self.total_shards != total_shards:
+            raise ValueError(
+                f"schedule allocates {self.total_shards} shards, "
+                f"expected {total_shards}"
+            )
+
+    def validate_capacities(self, capacities: Sequence[int]) -> None:
+        """Raise if any user exceeds its capacity C_j (in shards)."""
+        caps = np.asarray(capacities, dtype=np.int64)
+        if caps.shape != self.shard_counts.shape:
+            raise ValueError("capacities length must match users")
+        over = np.flatnonzero(self.shard_counts > caps)
+        if over.size:
+            raise ValueError(
+                f"users {over.tolist()} exceed their shard capacity"
+            )
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Evaluated cost of one synchronous round under a schedule."""
+
+    per_user_s: np.ndarray
+    makespan_s: float
+    mean_s: float
+    total_device_seconds: float
+
+    @property
+    def straggler_gap(self) -> float:
+        """Extra time the slowest participant needs over the mean —
+        the paper's straggler metric (Observation 4)."""
+        return self.makespan_s - self.mean_s
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """mean/makespan in (0, 1]: 1.0 means perfectly balanced."""
+        if self.makespan_s == 0:
+            return 1.0
+        return self.mean_s / self.makespan_s
+
+
+def evaluate_makespan(
+    schedule: Schedule,
+    time_curves: Sequence,
+    comm_costs: Optional[Sequence[float]] = None,
+) -> RoundCost:
+    """Evaluate a schedule against per-user time curves.
+
+    Parameters
+    ----------
+    schedule:
+        The shard allocation.
+    time_curves:
+        One callable per user mapping sample count -> seconds (profiled
+        curves or simulator oracles).
+    comm_costs:
+        Optional per-user communication seconds added for participants
+        (users with zero shards neither compute nor communicate).
+    """
+    if len(time_curves) != schedule.n_users:
+        raise ValueError("one time curve per user required")
+    if comm_costs is not None and len(comm_costs) != schedule.n_users:
+        raise ValueError("one comm cost per user required")
+    per_user = np.zeros(schedule.n_users)
+    samples = schedule.samples_per_user()
+    for j in range(schedule.n_users):
+        if samples[j] > 0:
+            t = float(time_curves[j](float(samples[j])))
+            if comm_costs is not None:
+                t += float(comm_costs[j])
+            per_user[j] = t
+    participants = schedule.participants()
+    if participants.size == 0:
+        return RoundCost(per_user, 0.0, 0.0, 0.0)
+    active = per_user[participants]
+    return RoundCost(
+        per_user_s=per_user,
+        makespan_s=float(active.max()),
+        mean_s=float(active.mean()),
+        total_device_seconds=float(active.sum()),
+    )

@@ -1,0 +1,47 @@
+"""Dataset substrate: synthetic stand-ins for MNIST/CIFAR10 plus every
+partitioning scheme the paper evaluates (IID, imbalanced-IID, n-class
+non-IID, one-class-outlier scenarios, schedule materialisation)."""
+
+from .partition import (
+    UserData,
+    class_histogram,
+    dirichlet_noniid_partition,
+    iid_partition,
+    iid_sizes,
+    imbalanced_iid_sizes,
+    materialize_schedule,
+    nclass_noniid_classes,
+    noniid_partition,
+    outlier_scenario,
+    partition_from_sizes,
+)
+from .shards import ShardPool, samples_for_shards, shards_for_samples
+from .synthetic import (
+    DATASET_PRESETS,
+    Dataset,
+    SyntheticConfig,
+    load_preset,
+    make_dataset,
+)
+
+__all__ = [
+    "UserData",
+    "class_histogram",
+    "dirichlet_noniid_partition",
+    "iid_partition",
+    "iid_sizes",
+    "imbalanced_iid_sizes",
+    "materialize_schedule",
+    "nclass_noniid_classes",
+    "noniid_partition",
+    "outlier_scenario",
+    "partition_from_sizes",
+    "ShardPool",
+    "samples_for_shards",
+    "shards_for_samples",
+    "DATASET_PRESETS",
+    "Dataset",
+    "SyntheticConfig",
+    "load_preset",
+    "make_dataset",
+]

@@ -1,0 +1,468 @@
+"""Data partitioning across federated users.
+
+Implements every data layout the paper evaluates:
+
+* balanced IID (the FedAvg "Equal" baseline, Sec. III-A);
+* imbalanced-but-IID with a controlled *imbalance ratio* — the ratio of
+  the standard deviation to the mean of per-user sizes (Fig. 2);
+* n-class non-IID: each user holds a random subset of n classes with
+  optionally dispersed per-class sizes (Fig. 3a, Sec. VII);
+* the one-class-outlier scenarios Missing / Separate / Merge (Fig. 3b);
+* materialisation of a scheduler-produced shard assignment into actual
+  per-user training subsets (Figs. 5-7, Tables III-V).
+
+A partition is a list of :class:`UserData`, one per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .shards import ShardPool
+from .synthetic import Dataset
+
+__all__ = [
+    "UserData",
+    "iid_sizes",
+    "imbalanced_iid_sizes",
+    "iid_partition",
+    "partition_from_sizes",
+    "nclass_noniid_classes",
+    "noniid_partition",
+    "dirichlet_noniid_partition",
+    "outlier_scenario",
+    "materialize_schedule",
+    "class_histogram",
+]
+
+
+@dataclass
+class UserData:
+    """One user's local dataset.
+
+    Attributes
+    ----------
+    user_id:
+        Index of the user in the federation.
+    indices:
+        Indices into the global training set.
+    classes:
+        Sorted tuple of class ids present (the scheduler's |U_j| input).
+    """
+
+    user_id: int
+    indices: np.ndarray
+    classes: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+def _validate_counts(n_users: int, total: int) -> None:
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if total < n_users:
+        raise ValueError(
+            f"cannot split {total} samples across {n_users} users "
+            "with at least one sample each"
+        )
+
+
+def iid_sizes(n_users: int, total: int) -> np.ndarray:
+    """Equal split of ``total`` samples (remainder spread over the first
+    users) — the FedAvg baseline layout."""
+    _validate_counts(n_users, total)
+    base = total // n_users
+    sizes = np.full(n_users, base, dtype=np.int64)
+    sizes[: total - base * n_users] += 1
+    return sizes
+
+
+def imbalanced_iid_sizes(
+    n_users: int,
+    total: int,
+    imbalance_ratio: float,
+    rng: np.random.Generator,
+    min_size: int = 1,
+) -> np.ndarray:
+    """Per-user sizes with std/mean = ``imbalance_ratio`` (Fig. 2 x-axis).
+
+    Sizes are drawn from a Gaussian around the mean, clipped at
+    ``min_size``, then rescaled so they sum exactly to ``total``. The
+    realised ratio tracks the requested one closely for ratios ≲ 1.
+    """
+    _validate_counts(n_users, total)
+    if imbalance_ratio < 0:
+        raise ValueError("imbalance_ratio must be non-negative")
+    mean = total / n_users
+    raw = rng.normal(mean, imbalance_ratio * mean, size=n_users)
+    raw = np.clip(raw, min_size, None)
+    sizes = np.floor(raw * (total / raw.sum())).astype(np.int64)
+    sizes = np.maximum(sizes, min_size)
+    # Fix the rounding drift one sample at a time on the largest users.
+    drift = total - int(sizes.sum())
+    order = np.argsort(-sizes)
+    i = 0
+    while drift != 0:
+        j = order[i % n_users]
+        if drift > 0:
+            sizes[j] += 1
+            drift -= 1
+        elif sizes[j] > min_size:
+            sizes[j] -= 1
+            drift += 1
+        i += 1
+    return sizes
+
+
+def partition_from_sizes(
+    dataset: Dataset,
+    sizes: Sequence[int],
+    rng: np.random.Generator,
+    class_uniform: bool = True,
+) -> List[UserData]:
+    """IID partition with prescribed per-user sizes.
+
+    With ``class_uniform`` (the paper's Fig. 2 setting) each user's subset
+    keeps a uniform class ratio; otherwise samples are drawn uniformly at
+    random from the global pool. Users never share samples while the
+    global pool lasts.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if (sizes <= 0).any():
+        raise ValueError("all user sizes must be positive")
+    if sizes.sum() > dataset.train_size:
+        raise ValueError(
+            f"requested {int(sizes.sum())} samples but dataset has "
+            f"{dataset.train_size}"
+        )
+    users: List[UserData] = []
+    if class_uniform:
+        pools = {
+            c: rng.permutation(idx)
+            for c, idx in dataset.class_indices().items()
+        }
+        cursors = {c: 0 for c in pools}
+        klist = sorted(pools)
+        k = len(klist)
+        for uid, size in enumerate(sizes):
+            per = np.full(k, size // k, dtype=np.int64)
+            per[: size - (size // k) * k] += 1
+            picks = []
+            for c, cnt in zip(klist, per):
+                start = cursors[c]
+                pool = pools[c]
+                if start + cnt <= len(pool):
+                    picks.append(pool[start : start + cnt])
+                    cursors[c] = start + cnt
+                else:
+                    picks.append(rng.choice(pool, size=cnt, replace=True))
+            idx = np.concatenate(picks)
+            users.append(
+                UserData(uid, idx, tuple(int(c) for c in klist))
+            )
+    else:
+        perm = rng.permutation(dataset.train_size)
+        offset = 0
+        for uid, size in enumerate(sizes):
+            idx = perm[offset : offset + size]
+            offset += size
+            present = tuple(sorted(set(int(c) for c in dataset.y_train[idx])))
+            users.append(UserData(uid, idx, present))
+    return users
+
+
+def iid_partition(
+    dataset: Dataset, n_users: int, rng: np.random.Generator
+) -> List[UserData]:
+    """Balanced IID partition (FedAvg 'Equal')."""
+    sizes = iid_sizes(n_users, dataset.train_size)
+    return partition_from_sizes(dataset, sizes, rng)
+
+
+def nclass_noniid_classes(
+    n_users: int,
+    classes_per_user: int,
+    num_classes: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, ...]]:
+    """Draw each user's class subset for n-class non-IIDness (Fig. 3a).
+
+    Ensures every class appears at least once across the federation
+    whenever ``n_users * classes_per_user >= num_classes`` (otherwise
+    classes are drawn independently)."""
+    if not 1 <= classes_per_user <= num_classes:
+        raise ValueError("classes_per_user must be in [1, num_classes]")
+    assignments = [
+        tuple(
+            sorted(
+                int(c)
+                for c in rng.choice(
+                    num_classes, size=classes_per_user, replace=False
+                )
+            )
+        )
+        for _ in range(n_users)
+    ]
+    if n_users * classes_per_user >= num_classes:
+        # Repair loop: inject each missing class by replacing, in some
+        # user, a class that at least one *other* user also holds — so
+        # the repair never un-covers anything. Each step strictly grows
+        # the covered set, hence terminates.
+        while True:
+            counts: Dict[int, int] = {}
+            for a in assignments:
+                for c in a:
+                    counts[c] = counts.get(c, 0) + 1
+            missing = [
+                c for c in range(num_classes) if counts.get(c, 0) == 0
+            ]
+            if not missing:
+                break
+            c = missing[0]
+            candidates = [
+                (u, d)
+                for u, a in enumerate(assignments)
+                for d in a
+                if counts[d] >= 2 and c not in a
+            ]
+            if not candidates:
+                break  # cannot repair without breaking coverage
+            u, d = candidates[int(rng.integers(len(candidates)))]
+            a = [c if x == d else x for x in assignments[u]]
+            assignments[u] = tuple(sorted(a))
+    return assignments
+
+
+def noniid_partition(
+    dataset: Dataset,
+    n_users: int,
+    classes_per_user: int,
+    rng: np.random.Generator,
+    size_std: float = 0.0,
+    total: Optional[int] = None,
+) -> List[UserData]:
+    """n-class non-IID partition with optional per-class size dispersion.
+
+    Each user receives samples only from its class subset. ``size_std``
+    is the relative std-dev of per-class sample counts within a user
+    (the paper adds "a standard deviation of samples among the existing
+    classes", Sec. III-C).
+    """
+    total = dataset.train_size if total is None else int(total)
+    sizes = iid_sizes(n_users, total)
+    class_sets = nclass_noniid_classes(
+        n_users, classes_per_user, dataset.num_classes, rng
+    )
+    pools = {
+        c: rng.permutation(idx) for c, idx in dataset.class_indices().items()
+    }
+    cursors = {c: 0 for c in pools}
+    users: List[UserData] = []
+    for uid, (size, classes) in enumerate(zip(sizes, class_sets)):
+        k = len(classes)
+        weights = np.maximum(
+            rng.normal(1.0, size_std, size=k) if size_std > 0 else np.ones(k),
+            0.05,
+        )
+        weights /= weights.sum()
+        per = np.floor(weights * size).astype(np.int64)
+        per[0] += size - per.sum()
+        picks = []
+        for c, cnt in zip(classes, per):
+            if cnt <= 0:
+                continue
+            pool = pools[c]
+            start = cursors[c]
+            if start + cnt <= len(pool):
+                picks.append(pool[start : start + cnt])
+                cursors[c] = start + cnt
+            else:
+                picks.append(rng.choice(pool, size=cnt, replace=True))
+        idx = (
+            np.concatenate(picks) if picks else np.zeros(0, dtype=np.int64)
+        )
+        users.append(UserData(uid, idx, tuple(classes)))
+    return users
+
+
+def dirichlet_noniid_partition(
+    dataset: Dataset,
+    n_users: int,
+    concentration: float,
+    rng: np.random.Generator,
+    total: Optional[int] = None,
+    min_size: int = 1,
+) -> List[UserData]:
+    """Dirichlet label-skew partition (the FL-literature standard).
+
+    Each class's samples are split across users with proportions drawn
+    from ``Dirichlet(concentration)``: small ``concentration`` (e.g.
+    0.1) gives extreme label skew, large values (e.g. 100) approach
+    IID. Complements the paper's n-class scheme — n-class controls
+    *which* classes a user has, Dirichlet controls *how much* of each —
+    and lets results be compared against the wider FL literature.
+    """
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    total = dataset.train_size if total is None else int(total)
+    if total > dataset.train_size:
+        raise ValueError("total exceeds the dataset size")
+    scale = total / dataset.train_size
+    picks: List[List[np.ndarray]] = [[] for _ in range(n_users)]
+    for c, idx in dataset.class_indices().items():
+        take = int(round(len(idx) * scale))
+        if take == 0:
+            continue
+        pool = rng.permutation(idx)[:take]
+        props = rng.dirichlet(np.full(n_users, concentration))
+        counts = np.floor(props * take).astype(np.int64)
+        counts[int(np.argmax(props))] += take - int(counts.sum())
+        offset = 0
+        for u in range(n_users):
+            if counts[u] > 0:
+                picks[u].append(pool[offset : offset + counts[u]])
+                offset += counts[u]
+    users: List[UserData] = []
+    for u in range(n_users):
+        idx = (
+            np.concatenate(picks[u])
+            if picks[u]
+            else np.zeros(0, dtype=np.int64)
+        )
+        present = tuple(
+            sorted(set(int(c) for c in dataset.y_train[idx]))
+        ) if idx.size else ()
+        users.append(UserData(u, idx, present))
+    # Guarantee a minimum size: move samples from the largest user.
+    sizes = np.array([u.size for u in users])
+    while (sizes < min_size).any():
+        small = int(np.argmin(sizes))
+        big = int(np.argmax(sizes))
+        if sizes[big] <= min_size:
+            break
+        moved, rest = users[big].indices[:1], users[big].indices[1:]
+        users[big] = UserData(
+            big,
+            rest,
+            tuple(sorted(set(int(c) for c in dataset.y_train[rest]))),
+        )
+        combined = np.concatenate([users[small].indices, moved])
+        users[small] = UserData(
+            small,
+            combined,
+            tuple(sorted(set(int(c) for c in dataset.y_train[combined]))),
+        )
+        sizes = np.array([u.size for u in users])
+    return users
+
+
+def outlier_scenario(
+    dataset: Dataset,
+    mode: str,
+    rng: np.random.Generator,
+    n_base_users: int = 3,
+    classes_per_user: int = 3,
+    samples_per_user: int = 600,
+) -> List[UserData]:
+    """The Fig. 3(b) construction: 3 users x 3 random classes leaves one
+    class for a potential one-class outlier, handled three ways.
+
+    * ``"missing"`` — the outlier class is absent from training;
+    * ``"separate"`` — a fourth, one-class user holds it;
+    * ``"merge"`` — the class is merged into the last base user.
+    """
+    mode = mode.lower()
+    if mode not in {"missing", "separate", "merge"}:
+        raise ValueError("mode must be 'missing', 'separate' or 'merge'")
+    k = dataset.num_classes
+    need = n_base_users * classes_per_user
+    if need + 1 > k:
+        raise ValueError(
+            f"{n_base_users} users x {classes_per_user} classes + outlier "
+            f"needs {need + 1} classes but dataset has {k}"
+        )
+    perm = [int(c) for c in rng.permutation(k)]
+    base_sets = [
+        tuple(sorted(perm[u * classes_per_user : (u + 1) * classes_per_user]))
+        for u in range(n_base_users)
+    ]
+    outlier_class = perm[need]
+
+    pools = {
+        c: rng.permutation(idx) for c, idx in dataset.class_indices().items()
+    }
+
+    def _draw(classes: Tuple[int, ...], size: int) -> np.ndarray:
+        per = iid_sizes(len(classes), size)
+        picks = []
+        for c, cnt in zip(classes, per):
+            pool = pools[c]
+            replace = cnt > len(pool)
+            picks.append(rng.choice(pool, size=cnt, replace=replace))
+        return np.concatenate(picks)
+
+    users: List[UserData] = []
+    for uid, classes in enumerate(base_sets):
+        if mode == "merge" and uid == n_base_users - 1:
+            classes = tuple(sorted(classes + (outlier_class,)))
+        users.append(UserData(uid, _draw(classes, samples_per_user), classes))
+    if mode == "separate":
+        users.append(
+            UserData(
+                n_base_users,
+                _draw((outlier_class,), samples_per_user),
+                (outlier_class,),
+            )
+        )
+    return users
+
+
+def materialize_schedule(
+    dataset: Dataset,
+    shard_counts: Sequence[int],
+    user_classes: Sequence[Tuple[int, ...]],
+    shard_size: int,
+    seed: int = 0,
+) -> List[UserData]:
+    """Turn a scheduler's shard assignment into per-user training subsets.
+
+    Each user ``j`` receives ``shard_counts[j]`` shards drawn only from
+    its own classes ``user_classes[j]`` (a user can only train on data it
+    physically holds). Users assigned zero shards get empty subsets and
+    simply sit the round out, exactly as in the paper's schedules where
+    some devices receive no data (Table IV).
+    """
+    if len(shard_counts) != len(user_classes):
+        raise ValueError("shard_counts and user_classes lengths differ")
+    pool = ShardPool(dataset.class_indices(), shard_size, seed=seed)
+    users: List[UserData] = []
+    for uid, (cnt, classes) in enumerate(zip(shard_counts, user_classes)):
+        if cnt < 0:
+            raise ValueError("shard counts must be non-negative")
+        if cnt == 0:
+            users.append(UserData(uid, np.zeros(0, dtype=np.int64), tuple(classes)))
+            continue
+        idx = pool.draw(list(classes), int(cnt))
+        users.append(UserData(uid, idx, tuple(classes)))
+    return users
+
+
+def class_histogram(dataset: Dataset, user: UserData) -> np.ndarray:
+    """Per-class sample counts of a user's subset."""
+    hist = np.zeros(dataset.num_classes, dtype=np.int64)
+    if user.size:
+        labels, counts = np.unique(
+            dataset.y_train[user.indices], return_counts=True
+        )
+        hist[labels] = counts
+    return hist

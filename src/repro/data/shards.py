@@ -1,0 +1,98 @@
+"""Shard bookkeeping.
+
+The paper schedules data at *shard* granularity ("the minimum
+granularity of samples (e.g. 100 samples/shard)", Sec. IV-A). Both
+Fed-LBAP and Fed-MinAvg reason in integer shard counts; this module
+holds the small helpers for converting between samples and shards and
+for slicing a dataset into per-class shard pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["shards_for_samples", "samples_for_shards", "ShardPool"]
+
+
+def shards_for_samples(n_samples: int, shard_size: int) -> int:
+    """Number of whole shards covering ``n_samples`` (ceiling division)."""
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return -(-n_samples // shard_size)
+
+
+def samples_for_shards(n_shards: int, shard_size: int) -> int:
+    """Sample count represented by ``n_shards`` whole shards."""
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    if n_shards < 0:
+        raise ValueError("n_shards must be non-negative")
+    return n_shards * shard_size
+
+
+@dataclass
+class ShardPool:
+    """A per-class pool of sample indices that can be drawn shard by shard.
+
+    Used when materialising a schedule into actual training subsets: a
+    user scheduled ``l_j`` shards draws ``l_j * shard_size`` sample
+    indices, restricted to that user's classes, without replacement
+    until a class pool is exhausted (then with replacement — the
+    synthetic datasets are large enough that this is rare).
+    """
+
+    by_class: Dict[int, np.ndarray]
+    shard_size: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        self._cursor: Dict[int, int] = {c: 0 for c in self.by_class}
+        self._rng = np.random.default_rng(self.seed)
+        # Shuffle each class pool once so draws are random but repeatable.
+        self.by_class = {
+            c: self._rng.permutation(idx) for c, idx in self.by_class.items()
+        }
+
+    def draw(self, classes: List[int], n_shards: int) -> np.ndarray:
+        """Draw ``n_shards`` shards spread round-robin over ``classes``.
+
+        Returns a flat index array of ``n_shards * shard_size`` samples.
+        """
+        if n_shards < 0:
+            raise ValueError("n_shards must be non-negative")
+        if n_shards == 0:
+            return np.zeros(0, dtype=np.int64)
+        usable = [c for c in classes if c in self.by_class]
+        if not usable:
+            raise ValueError(
+                f"none of classes {classes} present in the shard pool"
+            )
+        picks: List[np.ndarray] = []
+        for k in range(n_shards):
+            c = usable[k % len(usable)]
+            pool = self.by_class[c]
+            start = self._cursor[c]
+            stop = start + self.shard_size
+            if stop <= len(pool):
+                picks.append(pool[start:stop])
+                self._cursor[c] = stop
+            else:
+                # Pool exhausted: resample with replacement.
+                picks.append(
+                    self._rng.choice(pool, size=self.shard_size, replace=True)
+                )
+        return np.concatenate(picks)
+
+    def remaining_shards(self, cls: int) -> int:
+        """Whole shards still available (without replacement) in a class."""
+        if cls not in self.by_class:
+            return 0
+        left = len(self.by_class[cls]) - self._cursor[cls]
+        return max(0, left // self.shard_size)

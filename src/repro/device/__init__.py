@@ -1,0 +1,77 @@
+"""Mobile-device simulation substrate.
+
+Replaces the paper's physical Android testbed with a discrete-time
+simulator of big.LITTLE SoCs: DVFS governors, lumped-RC thermal model
+with trip-point throttling, battery accounting, and a calibrated
+registry for the four phone models of Table I.
+"""
+
+from .battery import BatteryDepletedError, BatteryState
+from .device import MobileDevice, TrainingTrace
+from .energy import energy_capacity_shards, energy_for_samples
+from .governor import (
+    Governor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+from .registry import (
+    ANCHOR_FLOPS,
+    available_devices,
+    register_device,
+    unregister_device,
+    COLD_RATE_ANCHORS,
+    DEVICE_NAMES,
+    TESTBEDS,
+    build_spec,
+    calibrate_efficiency,
+    make_device,
+    make_testbed,
+)
+from .specs import (
+    BatterySpec,
+    ClusterSpec,
+    DeviceSpec,
+    ThermalSpec,
+    TripPoint,
+)
+from .thermal import ThermalState, ThrottleDecision
+from .workload import TrainingWorkload
+
+__all__ = [
+    "BatteryDepletedError",
+    "energy_capacity_shards",
+    "energy_for_samples",
+    "BatteryState",
+    "MobileDevice",
+    "TrainingTrace",
+    "Governor",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "SchedutilGovernor",
+    "make_governor",
+    "ANCHOR_FLOPS",
+    "COLD_RATE_ANCHORS",
+    "DEVICE_NAMES",
+    "TESTBEDS",
+    "build_spec",
+    "calibrate_efficiency",
+    "available_devices",
+    "register_device",
+    "unregister_device",
+    "make_device",
+    "make_testbed",
+    "BatterySpec",
+    "ClusterSpec",
+    "DeviceSpec",
+    "ThermalSpec",
+    "TripPoint",
+    "ThermalState",
+    "ThrottleDecision",
+    "TrainingWorkload",
+]

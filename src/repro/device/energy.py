@@ -1,0 +1,87 @@
+"""Energy-aware capacity estimation.
+
+Problem P2's capacity C_j "can be quantified by the storage or battery
+energy" (Sec. VI-A). This module converts a device's battery budget
+into a shard capacity: given the fraction of charge the user is willing
+to spend on one training round, how many shards can the device process
+before exceeding it?
+
+The estimate runs the device simulator forward (power draw includes the
+throttling dynamics, so a device that throttles into a low-power state
+gets *time*-limited rather than energy-limited behaviour reflected
+correctly) and binary-searches the largest feasible shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..models.flops import model_training_flops
+from ..models.network import Sequential
+from .device import MobileDevice
+from .workload import TrainingWorkload
+
+__all__ = ["energy_for_samples", "energy_capacity_shards"]
+
+
+def energy_for_samples(
+    device: MobileDevice,
+    model: Sequential,
+    n_samples: int,
+    batch_size: int = 20,
+) -> float:
+    """Joules the device spends training ``n_samples`` from cold."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    device.reset()
+    workload = TrainingWorkload(
+        flops_per_sample=model_training_flops(model),
+        n_samples=n_samples,
+        batch_size=batch_size,
+        model_name=model.name,
+    )
+    return device.run_workload(workload, record=False).energy_j
+
+
+def energy_capacity_shards(
+    device: MobileDevice,
+    model: Sequential,
+    shard_size: int,
+    budget_fraction: float = 0.05,
+    max_shards: int = 4096,
+    batch_size: int = 20,
+) -> int:
+    """Largest shard count whose round energy fits the battery budget.
+
+    ``budget_fraction`` is the share of a full charge the user allows
+    per round (5 % default — a realistic opt-in constraint). Energy is
+    monotone in shard count, so binary search applies. Returns 0 when
+    even a single shard exceeds the budget.
+    """
+    if not 0 < budget_fraction <= 1:
+        raise ValueError("budget_fraction must be in (0, 1]")
+    if shard_size <= 0 or max_shards <= 0:
+        raise ValueError("shard_size and max_shards must be positive")
+    budget_j = device.spec.battery.energy_j * budget_fraction
+
+    def feasible(shards: int) -> bool:
+        return (
+            energy_for_samples(
+                device, model, shards * shard_size, batch_size
+            )
+            <= budget_j
+        )
+
+    if not feasible(1):
+        return 0
+    lo, hi = 1, max_shards
+    if feasible(hi):
+        return hi
+    # invariant: feasible(lo), not feasible(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,142 @@
+"""Fig. 1 — benchmark training performance on the mobile testbed.
+
+(a)/(b): per-batch training time traces for LeNet / VGG6 on each device
+(MNIST). (c): average CPU frequency vs temperature sampled every 5 s
+under sustained load, showing how the governor and power management
+interact until the device stabilises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..device.device import TrainingTrace
+from ..device.registry import DEVICE_NAMES, make_device
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.zoo import MNIST_SHAPE, build_model
+from .runner import ExperimentResult
+
+__all__ = ["Fig1Config", "run", "collect_trace", "freq_temp_series"]
+
+
+@dataclass
+class Fig1Config:
+    """Parameters for the Fig. 1 reproduction."""
+
+    models: Tuple[str, ...] = ("lenet", "vgg6")
+    devices: Tuple[str, ...] = tuple(DEVICE_NAMES)
+    #: samples per device run; enough batches for the throttled regime
+    #: to appear on the Nexus 6P
+    n_samples: int = 3000
+    batch_size: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+
+
+def collect_trace(
+    device_name: str,
+    model_name: str,
+    n_samples: int,
+    batch_size: int = 20,
+    seed: int = 0,
+) -> TrainingTrace:
+    """One device's full training trace for one model."""
+    device = make_device(device_name, seed=seed)
+    model = build_model(model_name, input_shape=MNIST_SHAPE)
+    workload = TrainingWorkload(
+        flops_per_sample=model_training_flops(model),
+        n_samples=n_samples,
+        batch_size=batch_size,
+        model_name=model_name,
+    )
+    return device.run_workload(workload, record=True)
+
+
+def freq_temp_series(
+    trace: TrainingTrace, sample_every_s: float = 5.0
+) -> Dict[str, np.ndarray]:
+    """Fig. 1(c)-style series: time, average CPU frequency (over online
+    clusters, GHz) and temperature sampled every ``sample_every_s``."""
+    if trace.time_s.size == 0:
+        return {"time_s": np.zeros(0), "freq_ghz": np.zeros(0), "temp_c": np.zeros(0)}
+    t_end = float(trace.time_s[-1])
+    grid = np.arange(0.0, t_end + 1e-9, sample_every_s)
+    freq_stack = np.vstack(list(trace.freq_ghz.values()))
+    online = freq_stack > 0
+    denom = np.maximum(online.sum(axis=0), 1)
+    mean_freq = freq_stack.sum(axis=0) / denom
+    idx = np.searchsorted(trace.time_s, grid, side="left")
+    idx = np.clip(idx, 0, trace.time_s.size - 1)
+    return {
+        "time_s": grid,
+        "freq_ghz": mean_freq[idx],
+        "temp_c": trace.temp_c[idx],
+    }
+
+
+def run(config: Fig1Config = None) -> ExperimentResult:
+    """Reproduce Fig. 1: per-device batch-time statistics and the
+    stabilised frequency/temperature operating point."""
+    cfg = config or Fig1Config()
+    result = ExperimentResult(
+        name="fig1",
+        description=(
+            "per-batch training time and CPU freq vs temperature "
+            "(MNIST workload)"
+        ),
+        columns=[
+            "model",
+            "device",
+            "mean_batch_s",
+            "p95_batch_s",
+            "batch_cv",
+            "mean_freq_ghz",
+            "peak_temp_c",
+            "throttled",
+        ],
+    )
+    for model_name in cfg.models:
+        for dev in cfg.devices:
+            trace = collect_trace(
+                dev,
+                model_name,
+                cfg.n_samples,
+                batch_size=cfg.batch_size,
+                seed=cfg.seed,
+            )
+            bt = trace.batch_times
+            series = freq_temp_series(trace)
+            mean_b = float(bt.mean()) if bt.size else 0.0
+            result.add_row(
+                model=model_name,
+                device=dev,
+                mean_batch_s=mean_b,
+                p95_batch_s=float(np.percentile(bt, 95)) if bt.size else 0.0,
+                batch_cv=float(bt.std() / mean_b) if bt.size and mean_b else 0.0,
+                mean_freq_ghz=float(series["freq_ghz"].mean()),
+                peak_temp_c=trace.peak_temp_c(),
+                throttled=bool(
+                    any((f == 0).any() for f in trace.online.values())
+                    or trace.peak_temp_c()
+                    >= min(
+                        (
+                            t.temp_on
+                            for t in make_device(dev).spec.thermal.trip_points
+                        ),
+                        default=np.inf,
+                    )
+                ),
+            )
+    result.add_note(
+        "paper shape: Pixel2 fastest on LeNet, Nexus6 3rd-gen surprise "
+        "beats Mate10 on LeNet; Nexus6P throttles (big cores offline) "
+        "with high batch-time variance"
+    )
+    return result

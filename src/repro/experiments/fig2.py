@@ -1,0 +1,99 @@
+"""Fig. 2 — impact of data imbalance (still IID) on FL accuracy.
+
+Partition the dataset across users with Gaussian-dispersed sizes at a
+sweep of imbalance ratios (std/mean), keeping each user's class mix
+uniform, and compare final accuracy against the balanced-distributed
+and centralised references. The paper's finding: as long as data stays
+IID, imbalance costs no accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.partition import (
+    UserData,
+    imbalanced_iid_sizes,
+    partition_from_sizes,
+)
+from ..data.synthetic import load_preset
+from .flruns import FLRunConfig, train_partition
+from .runner import ExperimentResult
+
+__all__ = ["Fig2Config", "run"]
+
+
+@dataclass
+class Fig2Config:
+    datasets: Tuple[str, ...] = ("mnist_mini", "cifar10_mini")
+    ratios: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    n_users: int = 10
+    fl: FLRunConfig = field(default_factory=FLRunConfig)
+    #: independent repetitions averaged per point
+    repeats: int = 1
+    seed: int = 7
+
+    @classmethod
+    def paper(cls) -> "Fig2Config":
+        """The paper's full protocol: 20 users over the complete
+        datasets, 20/50 global epochs, 10 runs averaged. Hours of
+        compute — the default config preserves the trends in minutes."""
+        return cls(
+            datasets=("mnist", "cifar10"),
+            ratios=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+            n_users=20,
+            fl=FLRunConfig(model="lenet", rounds=20, lr=0.01),
+            repeats=10,
+        )
+
+
+def run(config: Optional[Fig2Config] = None) -> ExperimentResult:
+    """Reproduce Fig. 2: accuracy vs imbalance ratio, plus references."""
+    cfg = config or Fig2Config()
+    result = ExperimentResult(
+        name="fig2",
+        description="impact of data imbalance (IID) on FL accuracy",
+        columns=["dataset", "setting", "imbalance_ratio", "accuracy"],
+    )
+    for ds_name in cfg.datasets:
+        dataset = load_preset(ds_name)
+        # Centralised reference: one user holding everything.
+        central = [
+            UserData(
+                0,
+                np.arange(dataset.train_size),
+                tuple(range(dataset.num_classes)),
+            )
+        ]
+        result.add_row(
+            dataset=ds_name,
+            setting="centralized",
+            imbalance_ratio=0.0,
+            accuracy=train_partition(dataset, central, cfg.fl),
+        )
+        for ratio in cfg.ratios:
+            accs = []
+            for rep in range(cfg.repeats):
+                rng = np.random.default_rng(cfg.seed + 1000 * rep)
+                sizes = imbalanced_iid_sizes(
+                    cfg.n_users, dataset.train_size, ratio, rng
+                )
+                users = partition_from_sizes(dataset, sizes, rng)
+                accs.append(train_partition(dataset, users, cfg.fl))
+            realized = (
+                float(np.std(sizes) / np.mean(sizes)) if len(sizes) else 0.0
+            )
+            result.add_row(
+                dataset=ds_name,
+                setting="federated",
+                imbalance_ratio=realized,
+                accuracy=float(np.mean(accs)),
+            )
+    result.add_note(
+        "paper shape: federated accuracy stays flat across imbalance "
+        "ratios and close to the centralized reference"
+    )
+    return result

@@ -1,0 +1,88 @@
+"""Fig. 4 — two-step profiling of training time (example: Mate 10).
+
+Step 1 fits, per data size, a multiple linear regression of measured
+training time on (conv params, dense params) across a family of
+architectures — the hyperplane of Fig. 4(a). Step 2 takes a *held-out*
+architecture, evaluates the step-1 regressions at its parameter split
+and fits time vs data size — the curve of Fig. 4(b), compared against
+direct measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..device.registry import make_device
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.zoo import MNIST_SHAPE, build_model, profiling_family
+from ..profiling.profiler import build_profile
+from .runner import ExperimentResult
+
+__all__ = ["Fig4Config", "run"]
+
+
+@dataclass
+class Fig4Config:
+    device: str = "mate10"
+    #: data sizes profiled (samples)
+    data_sizes: Tuple[int, ...] = (500, 1000, 2000, 4000)
+    #: extra sizes where the step-2 curve is checked against measurement
+    eval_sizes: Tuple[int, ...] = (750, 1500, 3000, 6000)
+    holdout_model: str = "lenet"
+    batch_size: int = 20
+
+
+def run(config: Optional[Fig4Config] = None) -> ExperimentResult:
+    """Reproduce Fig. 4: step-1 fit quality and step-2 prediction gap."""
+    cfg = config or Fig4Config()
+    device = make_device(cfg.device, jitter=0.0)
+    family = profiling_family(input_shape=MNIST_SHAPE)
+    profile = build_profile(
+        device, family, cfg.data_sizes, batch_size=cfg.batch_size
+    )
+    result = ExperimentResult(
+        name="fig4",
+        description=f"two-step training-time profiling on {cfg.device}",
+        columns=["step", "quantity", "value"],
+    )
+    for d, r2 in profile.step1_r2().items():
+        result.add_row(step=1, quantity=f"r2_at_{d}_samples", value=r2)
+
+    holdout = build_model(cfg.holdout_model, input_shape=MNIST_SHAPE)
+    curve = profile.time_curve(holdout)
+    flops = model_training_flops(holdout)
+    errors = []
+    for n in cfg.eval_sizes:
+        device.reset()
+        measured = device.run_workload(
+            TrainingWorkload(
+                flops_per_sample=flops,
+                n_samples=n,
+                batch_size=cfg.batch_size,
+                model_name=holdout.name,
+            ),
+            record=False,
+        ).total_time_s
+        predicted = curve(n)
+        rel = abs(predicted - measured) / measured
+        errors.append(rel)
+        result.add_row(
+            step=2, quantity=f"pred_time_at_{n}", value=predicted
+        )
+        result.add_row(
+            step=2, quantity=f"meas_time_at_{n}", value=measured
+        )
+    result.add_row(
+        step=2,
+        quantity="mean_rel_error",
+        value=float(np.mean(errors)),
+    )
+    result.add_note(
+        "paper shape: step-1 hyperplanes fit tightly (linear in "
+        "parameters); step-2 curve tracks measurement with a small gap"
+    )
+    return result

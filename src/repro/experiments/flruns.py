@@ -1,0 +1,128 @@
+"""Shared federated-training helpers for the accuracy experiments.
+
+The accuracy-bearing experiments (Fig. 2/3/6, Tables III/V) all follow
+the same recipe: build a per-user partition (from a scheduler output or
+a partitioner), train FedAvg for a few rounds on a mini dataset, and
+report final test accuracy. These helpers centralise that loop with
+deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.partition import UserData, materialize_schedule
+from ..data.synthetic import Dataset, load_preset
+from ..federated.simulation import FederatedSimulation, SimulationConfig
+from ..models.zoo import build_model
+
+__all__ = ["FLRunConfig", "train_partition", "accuracy_of_schedule",
+           "scale_counts"]
+
+
+@dataclass
+class FLRunConfig:
+    """Hyper-parameters shared across accuracy experiments."""
+
+    model: str = "logistic"
+    rounds: int = 10
+    lr: float = 0.05
+    momentum: float = 0.9
+    batch_size: int = 20
+    local_epochs: int = 1
+    seed: int = 0
+
+
+def train_partition(
+    dataset: Dataset,
+    users: Sequence[UserData],
+    cfg: Optional[FLRunConfig] = None,
+) -> float:
+    """Train FedAvg on a partition and return final test accuracy."""
+    cfg = cfg or FLRunConfig()
+    model = build_model(
+        cfg.model, input_shape=dataset.input_shape,
+        num_classes=dataset.num_classes, seed=cfg.seed,
+    )
+    sim = FederatedSimulation(
+        dataset,
+        model,
+        users,
+        config=SimulationConfig(
+            batch_size=cfg.batch_size,
+            local_epochs=cfg.local_epochs,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            eval_every=cfg.rounds,
+            seed=cfg.seed,
+        ),
+    )
+    sim.run(cfg.rounds)
+    return sim.final_accuracy()
+
+
+def scale_counts(
+    counts: Sequence[int], target_total: int
+) -> np.ndarray:
+    """Proportionally rescale shard counts to a smaller total.
+
+    Used to replay a full-scale schedule's *shape* on a mini dataset:
+    relative shares are preserved, the sum becomes ``target_total``, and
+    users that had any data keep at least one shard so participation
+    decisions survive the scaling.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("schedule allocates nothing")
+    if target_total <= 0:
+        raise ValueError("target_total must be positive")
+    scaled = np.floor(counts / total * target_total).astype(np.int64)
+    scaled[(counts > 0) & (scaled == 0)] = 1
+    # fix drift against the largest allocations
+    drift = target_total - int(scaled.sum())
+    order = np.argsort(-counts)
+    i = 0
+    while drift != 0:
+        j = order[i % len(counts)]
+        if drift > 0 and counts[j] > 0:
+            scaled[j] += 1
+            drift -= 1
+        elif drift < 0 and scaled[j] > 1:
+            scaled[j] -= 1
+            drift += 1
+        elif drift < 0 and scaled[j] == 1 and counts[j] == 0:
+            scaled[j] = 0
+            drift += 1
+        i += 1
+    return scaled
+
+
+def accuracy_of_schedule(
+    dataset_name: str,
+    shard_counts: Sequence[int],
+    user_classes: Sequence[Tuple[int, ...]],
+    cfg: Optional[FLRunConfig] = None,
+    mini_shards: int = 40,
+    mini_shard_size: int = 50,
+) -> float:
+    """Replay a schedule's allocation shape on a mini dataset and train.
+
+    ``shard_counts`` may come from a full-scale scheduling run; the
+    shape is rescaled to ``mini_shards`` shards of ``mini_shard_size``
+    samples, materialised against the users' class sets, and trained.
+    """
+    cfg = cfg or FLRunConfig()
+    dataset = load_preset(dataset_name)
+    scaled = scale_counts(shard_counts, mini_shards)
+    users = materialize_schedule(
+        dataset,
+        scaled,
+        user_classes,
+        shard_size=mini_shard_size,
+        seed=cfg.seed,
+    )
+    return train_partition(dataset, users, cfg)

@@ -1,0 +1,85 @@
+"""Realized (simulator-measured) round times for a schedule.
+
+Schedulers decide from *profiles*; what the paper reports is the
+*measured* time per global update on the actual devices. This helper
+closes that loop: given an allocation, run every participant's workload
+on a fresh simulated device and return the per-user times — throttling,
+governor dynamics and all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..device.registry import make_device
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.network import Sequential
+from ..network.link import Link
+from ..network.transfer import round_comm_cost
+
+__all__ = ["realized_times", "realized_makespan"]
+
+
+def realized_times(
+    samples_per_user: Sequence[int],
+    device_names: Sequence[str],
+    model: Sequential,
+    batch_size: int = 20,
+    link: Optional[Link] = None,
+    seed: int = 0,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Per-user realized round times (seconds) for an allocation.
+
+    Devices start cold (the paper's per-update measurements are averaged
+    over fresh rounds); users with zero samples report 0 and are not
+    counted as participants.
+    """
+    if len(samples_per_user) != len(device_names):
+        raise ValueError("one device per user required")
+    flops = model_training_flops(model)
+    times = np.zeros(len(device_names))
+    for j, (n, name) in enumerate(zip(samples_per_user, device_names)):
+        n = int(n)
+        if n <= 0:
+            continue
+        device = make_device(name, seed=seed + j, jitter=jitter)
+        workload = TrainingWorkload(
+            flops_per_sample=flops,
+            n_samples=n,
+            batch_size=batch_size,
+            model_name=model.name,
+        )
+        t = device.run_workload(workload, record=False).total_time_s
+        if link is not None:
+            t += round_comm_cost(model, link).total_s
+        times[j] = t
+    return times
+
+
+def realized_makespan(
+    samples_per_user: Sequence[int],
+    device_names: Sequence[str],
+    model: Sequential,
+    batch_size: int = 20,
+    link: Optional[Link] = None,
+    seed: int = 0,
+    jitter: float = 0.0,
+) -> float:
+    """Max participant time — the synchronous-round wall time."""
+    times = realized_times(
+        samples_per_user,
+        device_names,
+        model,
+        batch_size=batch_size,
+        link=link,
+        seed=seed,
+        jitter=jitter,
+    )
+    active = times[np.asarray(samples_per_user) > 0]
+    if active.size == 0:
+        raise ValueError("schedule has no participants")
+    return float(active.max())

@@ -1,0 +1,80 @@
+"""The three representative non-IID scenarios of Table IV.
+
+Each scenario maps the devices of a testbed (in registry order) to the
+class sets the paper lists in Table IV columns 2-4. S(I) runs on
+Testbed 1, S(II) on Testbed 2, S(III) on Testbed 3.
+
+Notable structure the paper's analysis leans on:
+
+* **S(I)** — class 7 exists *only* on Pixel2(a), the best device, which
+  however holds just two classes (high accuracy cost): the
+  time-vs-coverage tension of Fig. 6(a).
+* **S(II)** — class 4 exists only on Mate10(a) (with 9), again an
+  outlier holding a unique class.
+* **S(III)** — every class is held by multiple users; excluding the
+  skewed outliers costs no coverage, so accuracy *rises* with alpha
+  (Fig. 6c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .testbeds import testbed_names
+
+__all__ = ["SCENARIOS", "scenario_classes", "scenario_testbed"]
+
+#: per-scenario class sets, in the same device order as the testbed
+SCENARIOS: Dict[str, Tuple[Tuple[int, ...], ...]] = {
+    # Testbed 1: nexus6, mate10, pixel2
+    "S1": (
+        (0, 1, 2, 3, 4, 5, 6, 9),  # Nexus6(a)
+        (2, 3, 4, 5, 6, 8),        # Mate10(a)
+        (7, 8),                    # Pixel2(a)
+    ),
+    # Testbed 2: nexus6 a/b, nexus6p a/b, mate10, pixel2
+    "S2": (
+        (1, 2, 5, 7),   # Nexus6(a)
+        (2, 6, 8),      # Nexus6(b)
+        (0, 3, 8, 9),   # Nexus6P(a)
+        (0,),           # Nexus6P(b)
+        (4, 9),         # Mate10(a)
+        (0, 1, 2),      # Pixel2(a)
+    ),
+    # Testbed 3: nexus6 a-d, nexus6p a/b, mate10 a/b, pixel2 a/b
+    "S3": (
+        (2, 6, 8, 9),          # Nexus6(a)
+        (0, 1, 3, 7, 8, 9),    # Nexus6(b)
+        (9,),                  # Nexus6(c)
+        (0, 5),                # Nexus6(d)
+        (2,),                  # Nexus6P(a)
+        (0, 1, 2, 4, 5),       # Nexus6P(b)
+        (1, 3, 4, 8),          # Mate10(a)
+        (9,),                  # Mate10(b)
+        (1,),                  # Pixel2(a)
+        (0, 1, 2, 3, 7, 8),    # Pixel2(b)
+    ),
+}
+
+_SCENARIO_TESTBED = {"S1": 1, "S2": 2, "S3": 3}
+
+
+def scenario_testbed(name: str) -> int:
+    """Which testbed a scenario runs on."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; one of {sorted(SCENARIOS)}")
+    return _SCENARIO_TESTBED[name]
+
+
+def scenario_classes(name: str) -> List[Tuple[int, ...]]:
+    """Class sets for a scenario, validated against its testbed size."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; one of {sorted(SCENARIOS)}")
+    classes = list(SCENARIOS[name])
+    expected = len(testbed_names(scenario_testbed(name)))
+    if len(classes) != expected:
+        raise RuntimeError(
+            f"scenario {name} lists {len(classes)} users but its testbed "
+            f"has {expected} devices"
+        )
+    return classes

@@ -1,0 +1,147 @@
+"""Table III — model accuracy under IID data for every scheduler.
+
+The paper's point: because the data stays IID, load *un*balancing by
+Fed-LBAP costs no accuracy relative to Proportional/Random/Equal. We
+replay each scheduler's full-scale allocation *shape* on the mini
+datasets (relative shares preserved), train FedAvg, and compare final
+accuracies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.partition import partition_from_sizes
+from ..data.synthetic import load_preset
+from .fig5 import schedule_iid
+from .flruns import FLRunConfig, scale_counts, train_partition
+from .runner import ExperimentResult
+from .testbeds import testbed_names
+
+__all__ = ["Table3Config", "run"]
+
+#: mapping from the paper's model names to fast surrogate models used
+#: for the accuracy replays (the paper's own accuracy experiments ran on
+#: GPUs with PyTorch; we use light NumPy models at mini scale). Values
+#: are (surrogate model, learning rate) — the MLP needs a smaller step
+#: on the noisy CIFAR-like preset.
+SURROGATES: Dict[str, Tuple[str, float]] = {
+    "lenet": ("logistic", 0.05),
+    "vgg6": ("mlp", 0.02),
+}
+
+
+def surrogate_fl(model_name: str, base: FLRunConfig) -> FLRunConfig:
+    """FLRunConfig with the surrogate model/lr for a paper model name."""
+    surrogate, lr = SURROGATES.get(model_name, (base.model, base.lr))
+    return FLRunConfig(
+        model=surrogate,
+        rounds=base.rounds,
+        lr=lr,
+        momentum=base.momentum,
+        batch_size=base.batch_size,
+        local_epochs=base.local_epochs,
+        seed=base.seed,
+    )
+
+
+@dataclass
+class Table3Config:
+    datasets: Tuple[str, ...] = ("mnist", "cifar10")
+    models: Tuple[str, ...] = ("lenet", "vgg6")
+    testbeds: Tuple[int, ...] = (1, 2, 3)
+    shard_size: int = 500
+    #: shards replayed on the mini dataset
+    mini_shards: int = 40
+    fl: FLRunConfig = field(default_factory=FLRunConfig)
+    #: independent seeds averaged per cell (the paper averages 10 runs)
+    repeats: int = 2
+    seed: int = 5
+
+    @classmethod
+    def paper(cls) -> "Table3Config":
+        """Full protocol: 10 averaged runs, 20/50 global epochs."""
+        return cls(repeats=10, fl=FLRunConfig(rounds=20))
+
+
+def run(config: Optional[Table3Config] = None) -> ExperimentResult:
+    """Reproduce Table III: accuracy per (dataset, model, testbed,
+    scheduler) with IID data."""
+    cfg = config or Table3Config()
+    result = ExperimentResult(
+        name="table3",
+        description="model accuracy with different schedulers (IID data)",
+        columns=[
+            "dataset",
+            "model",
+            "testbed",
+            "proportional",
+            "random",
+            "equal",
+            "fed-lbap",
+            "lbap_loss_vs_best",
+        ],
+    )
+    for ds in cfg.datasets:
+        mini = f"{ds}_mini"
+        dataset = load_preset(mini)
+        mini_total = dataset.train_size
+        mini_shard_size = mini_total // cfg.mini_shards
+        for model_name in cfg.models:
+            fl = surrogate_fl(model_name, cfg.fl)
+            for tb in cfg.testbeds:
+                n = len(testbed_names(tb))
+                cell: Dict[str, float] = {}
+                for scheduler in (
+                    "proportional",
+                    "random",
+                    "equal",
+                    "fed-lbap",
+                ):
+                    accs = []
+                    for rep in range(cfg.repeats):
+                        sched = schedule_iid(
+                            scheduler,
+                            tb,
+                            ds,
+                            model_name,
+                            cfg.shard_size,
+                            np.random.default_rng(cfg.seed + 31 * rep),
+                        )
+                        sizes = scale_counts(
+                            sched.shard_counts, cfg.mini_shards
+                        ) * mini_shard_size
+                        # Drop zero-size users for partitioning; they
+                        # simply never participate.
+                        rng = np.random.default_rng(cfg.seed + 31 * rep)
+                        active_sizes = sizes[sizes > 0]
+                        users = partition_from_sizes(
+                            dataset, active_sizes, rng
+                        )
+                        rep_fl = dataclasses.replace(
+                            fl, seed=fl.seed + 101 * rep
+                        )
+                        accs.append(
+                            train_partition(dataset, users, rep_fl)
+                        )
+                    cell[scheduler] = float(np.mean(accs))
+                best = max(
+                    cell["proportional"], cell["random"], cell["equal"]
+                )
+                result.add_row(
+                    dataset=ds,
+                    model=model_name,
+                    testbed=tb,
+                    lbap_loss_vs_best=best - cell["fed-lbap"],
+                    **cell,
+                )
+    result.add_note(
+        "paper shape: all schedulers within ~0.005 of each other — "
+        "IID imbalance does not hurt accuracy"
+    )
+    return result

@@ -1,0 +1,93 @@
+"""Deadline-based straggler dropout (the paper's reference [5]).
+
+Bonawitz et al.'s production FL system "simply adopts a hard dropout of
+the stragglers if they fail to catch up with the schedule, while not
+attempting to make best use from their data" (Sec. II-B). This module
+implements that policy as an additional baseline so the paper's
+implicit comparison — dropout wastes straggler data; data-size
+scheduling uses it — can be quantified.
+
+The deadline is a multiple of the *median* participant round time: any
+participant slower than ``deadline_factor x median`` is dropped from
+aggregation that round (its computation time is still spent — the
+device worked until the deadline — but its update is discarded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DropoutPolicy", "apply_deadline"]
+
+
+@dataclass(frozen=True)
+class DropoutPolicy:
+    """Hard straggler-dropout configuration.
+
+    ``deadline_factor`` scales the median participant time into the
+    round deadline; ``min_participants`` guards against dropping so many
+    users that aggregation becomes meaningless (the production system
+    aborts rounds below a participation threshold).
+    """
+
+    deadline_factor: float = 1.5
+    min_participants: int = 1
+
+    def __post_init__(self) -> None:
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if self.min_participants < 1:
+            raise ValueError("min_participants must be >= 1")
+
+
+def apply_deadline(
+    times: Sequence[float],
+    active: Sequence[int],
+    policy: DropoutPolicy,
+) -> Tuple[List[int], List[int], float]:
+    """Split participants into survivors and dropped by the deadline.
+
+    Parameters
+    ----------
+    times:
+        Per-user round times (seconds); only entries listed in
+        ``active`` are considered.
+    active:
+        Indices of users that computed this round.
+    policy:
+        The dropout configuration.
+
+    Returns
+    -------
+    survivors, dropped, round_time:
+        Survivor/dropped index lists and the effective round wall time —
+        the deadline if anyone was dropped (the server stops waiting),
+        otherwise the slowest survivor.
+    """
+    if not len(active):
+        raise ValueError("no active participants")
+    times = np.asarray(times, dtype=float)
+    active = list(active)
+    active_times = times[active]
+    median = float(np.median(active_times))
+    deadline = policy.deadline_factor * median
+    survivors = [j for j in active if times[j] <= deadline]
+    dropped = [j for j in active if times[j] > deadline]
+    # Never drop below the participation floor: re-admit the fastest
+    # dropped users until the floor is met.
+    if len(survivors) < policy.min_participants:
+        readmit = sorted(dropped, key=lambda j: times[j])
+        while len(survivors) < policy.min_participants and readmit:
+            j = readmit.pop(0)
+            survivors.append(j)
+            dropped.remove(j)
+    if dropped:
+        round_time = max(
+            deadline, max(times[j] for j in survivors)
+        )
+    else:
+        round_time = float(max(times[j] for j in survivors))
+    return sorted(survivors), sorted(dropped), round_time

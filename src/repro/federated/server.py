@@ -1,0 +1,73 @@
+"""Parameter server: FedAvg aggregation.
+
+McMahan et al.'s FedAvg [2] — the synchronous aggregation every
+experiment in the paper builds on: the server pushes the global model,
+clients train locally, and the server replaces the global weights with
+the sample-count-weighted average of the returned models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..models.network import Sequential
+
+__all__ = ["fedavg_aggregate", "ParameterServer"]
+
+
+def fedavg_aggregate(
+    weight_vectors: Sequence[np.ndarray],
+    sample_counts: Sequence[int],
+) -> np.ndarray:
+    """Weighted average of client weight vectors.
+
+    Weights are the clients' local sample counts, as in FedAvg. Clients
+    with zero samples are ignored; at least one client must have data.
+    """
+    if len(weight_vectors) != len(sample_counts):
+        raise ValueError("one sample count per weight vector required")
+    counts = np.asarray(sample_counts, dtype=np.float64)
+    if (counts < 0).any():
+        raise ValueError("sample counts must be non-negative")
+    active = counts > 0
+    if not active.any():
+        raise ValueError("no client contributed samples")
+    vecs = [
+        np.asarray(w)
+        for w, keep in zip(weight_vectors, active)
+        if keep
+    ]
+    shapes = {v.shape for v in vecs}
+    if len(shapes) != 1:
+        raise ValueError(f"inconsistent weight shapes: {shapes}")
+    w = counts[active]
+    w = w / w.sum()
+    out = np.zeros_like(vecs[0])
+    for wi, v in zip(w, vecs):
+        out += wi * v
+    return out
+
+
+class ParameterServer:
+    """Holds the global model and runs synchronous FedAvg rounds."""
+
+    def __init__(self, model: Sequential) -> None:
+        self.model = model
+        self.round_idx = 0
+
+    def global_weights(self) -> np.ndarray:
+        """Current global weights (what gets pushed to clients)."""
+        return self.model.get_weights()
+
+    def aggregate(
+        self,
+        weight_vectors: Sequence[np.ndarray],
+        sample_counts: Sequence[int],
+    ) -> np.ndarray:
+        """FedAvg step: install and return the new global weights."""
+        new = fedavg_aggregate(weight_vectors, sample_counts)
+        self.model.set_weights(new)
+        self.round_idx += 1
+        return new

@@ -1,0 +1,74 @@
+"""NumPy deep-learning substrate.
+
+The paper trains LeNet/VGG6 with DL4J on Android; this package provides
+an equivalent from-scratch training stack (layers, losses, SGD,
+sequential container, FLOP counting, model zoo) so the federated
+learning experiments run without any external DL framework.
+"""
+
+from .layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+)
+from .losses import accuracy, softmax, softmax_cross_entropy
+from .network import ParameterSplit, Sequential
+from .optim import SGD, Optimizer
+from .flops import model_forward_flops, model_training_flops
+from .zoo import (
+    CIFAR_MINI_SHAPE,
+    CIFAR_SHAPE,
+    MNIST_MINI_SHAPE,
+    MNIST_SHAPE,
+    build_model,
+    lenet,
+    lenet_mini,
+    logistic,
+    mlp,
+    model_wire_mb,
+    profiling_family,
+    vgg6,
+    vgg_mini,
+)
+
+__all__ = [
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Tanh",
+    "accuracy",
+    "softmax",
+    "softmax_cross_entropy",
+    "ParameterSplit",
+    "Sequential",
+    "SGD",
+    "Optimizer",
+    "model_forward_flops",
+    "model_training_flops",
+    "build_model",
+    "lenet",
+    "vgg6",
+    "lenet_mini",
+    "vgg_mini",
+    "mlp",
+    "logistic",
+    "model_wire_mb",
+    "profiling_family",
+    "MNIST_SHAPE",
+    "CIFAR_SHAPE",
+    "MNIST_MINI_SHAPE",
+    "CIFAR_MINI_SHAPE",
+]

@@ -1,0 +1,592 @@
+"""Neural-network layers implemented in pure NumPy.
+
+Every layer follows the same contract:
+
+* ``forward(x, training)`` consumes an input batch and returns the output,
+  caching whatever is needed for the backward pass on ``self``.
+* ``backward(grad_out)`` consumes the gradient of the loss w.r.t. the
+  layer output and returns the gradient w.r.t. the layer input, storing
+  parameter gradients on ``self.grads``.
+* ``params`` / ``grads`` are dicts keyed by parameter name (empty for
+  stateless layers).
+
+Convolutions use an im2col lowering so the inner product runs inside a
+single GEMM — the standard trick for making Python-level convolution
+competitive (the hot loop lives in BLAS, not the interpreter).
+
+Shapes follow the NCHW convention: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "im2col",
+    "col2im",
+]
+
+
+def _as_pair(v) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a ``(h, w)`` tuple."""
+    if isinstance(v, (tuple, list)):
+        if len(v) != 2:
+            raise ValueError(f"expected int or pair, got {v!r}")
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+def im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+) -> Tuple[np.ndarray, int, int]:
+    """Lower image patches into columns for GEMM-based convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kh, kw:
+        Kernel height and width.
+    stride:
+        ``(stride_h, stride_w)``.
+    pad:
+        ``(pad_h, pad_w)`` zero padding applied symmetrically.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * out_h * out_w, C * kh * kw)``. Row ``i``
+        holds the receptive field of output pixel ``i`` flattened.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    n, c, h, w = x.shape
+    sh, sw = stride
+    ph, pw = pad
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}) with stride {stride} and pad {pad} does not "
+            f"fit input of spatial size {h}x{w}"
+        )
+
+    if ph or pw:
+        xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    else:
+        xp = x
+
+    # Strided view of all receptive fields: (N, C, out_h, out_w, kh, kw).
+    sN, sC, sH, sW = xp.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (sN, sC, sH * sh, sW * sw, sH, sW)
+    patches = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+    # (N, out_h, out_w, C, kh, kw) -> rows are output pixels.
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kh * kw
+    )
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image.
+
+    Used by the convolution backward pass to accumulate input gradients
+    from the per-patch gradients.
+    """
+    n, c, h, w = x_shape
+    sh, sw = stride
+    ph, pw = pad
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    # Scatter-add each kernel offset in one vectorised slice-assignment.
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            xp[:, :, i:i_max:sh, j:j_max:sw] += patches[:, :, :, :, i, j]
+    if ph or pw:
+        return xp[:, :, ph : ph + h, pw : pw + w]
+    return xp
+
+
+class Layer:
+    """Base class: stateless identity layer with the parameter protocol."""
+
+    #: class-level marker used by the profiler to split conv vs dense params
+    kind: str = "other"
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # -- protocol -----------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def param_count(self) -> int:
+        """Total number of learnable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of a single sample's output given a single sample's input."""
+        return input_shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``.
+
+    Weights use He initialisation scaled for the fan-in, which keeps
+    activations well-conditioned for the ReLU nets in the model zoo.
+    """
+
+    kind = "dense"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.params = {
+            "W": rng.normal(0.0, scale, (in_features, out_features)).astype(
+                np.float64
+            ),
+            "b": np.zeros(out_features, dtype=np.float64),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects 2-D input, got shape {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects {self.in_features} features, got {x.shape[1]}"
+            )
+        self._x = x if training else None
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward")
+        self.grads["W"][...] = self._x.T @ grad_out
+        self.grads["b"][...] = grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col + GEMM.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Int or ``(kh, kw)``.
+    stride, padding:
+        Int or pair; padding is symmetric zero-padding.
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = _as_pair(kernel_size)
+        self.stride = _as_pair(stride)
+        self.padding = _as_pair(padding)
+        kh, kw = self.kernel_size
+        fan_in = in_channels * kh * kw
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / fan_in)
+        self.params = {
+            "W": rng.normal(
+                0.0, scale, (out_channels, in_channels, kh, kw)
+            ).astype(np.float64),
+            "b": np.zeros(out_channels, dtype=np.float64),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2D expects NCHW input, got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects {self.in_channels} channels, got {x.shape[1]}"
+            )
+        kh, kw = self.kernel_size
+        cols, out_h, out_w = im2col(x, kh, kw, self.stride, self.padding)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params["b"]
+        n = x.shape[0]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        else:
+            self._cols = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before a training forward")
+        n = self._x_shape[0]
+        out_h, out_w = self._out_hw  # type: ignore[misc]
+        # (N, Cout, H, W) -> (N*H*W, Cout) to line up with im2col rows.
+        g = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"][...] = (g.T @ self._cols).reshape(
+            self.params["W"].shape
+        )
+        self.grads["b"][...] = g.sum(axis=0)
+        grad_cols = g @ w_mat
+        kh, kw = self.kernel_size
+        return col2im(
+            grad_cols, self._x_shape, kh, kw, self.stride, self.padding
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (w + 2 * pw - kw) // sw + 1
+        return (self.out_channels, out_h, out_w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square or rectangular windows."""
+
+    def __init__(self, pool_size=2, stride=None) -> None:
+        super().__init__()
+        self.pool_size = _as_pair(pool_size)
+        self.stride = _as_pair(stride) if stride is not None else self.pool_size
+        self._mask: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        kh, kw = self.pool_size
+        n, c, h, w = x.shape
+        cols, out_h, out_w = im2col(
+            x.reshape(n * c, 1, h, w), kh, kw, self.stride, (0, 0)
+        )
+        # cols: (N*C*out_h*out_w, kh*kw)
+        idx = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), idx]
+        out = out.reshape(n, c, out_h, out_w)
+        if training:
+            mask = np.zeros_like(cols)
+            mask[np.arange(cols.shape[0]), idx] = 1.0
+            self._mask = mask
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        else:
+            self._mask = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError("backward called before a training forward")
+        n, c, h, w = self._x_shape
+        kh, kw = self.pool_size
+        grad_cols = self._mask * grad_out.reshape(-1, 1)
+        return col2im(
+            grad_cols, (n * c, 1, h, w), kh, kw, self.stride, (0, 0)
+        ).reshape(n, c, h, w)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        return (c, (h - kh) // sh + 1, (w - kw) // sw + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool2D({self.pool_size})"
+
+
+class AvgPool2D(Layer):
+    """Average pooling; used by some profiling architectures."""
+
+    def __init__(self, pool_size=2, stride=None) -> None:
+        super().__init__()
+        self.pool_size = _as_pair(pool_size)
+        self.stride = _as_pair(stride) if stride is not None else self.pool_size
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        kh, kw = self.pool_size
+        n, c, h, w = x.shape
+        cols, out_h, out_w = im2col(
+            x.reshape(n * c, 1, h, w), kh, kw, self.stride, (0, 0)
+        )
+        out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        if training:
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before a training forward")
+        n, c, h, w = self._x_shape
+        kh, kw = self.pool_size
+        scale = 1.0 / (kh * kw)
+        grad_cols = np.repeat(
+            grad_out.reshape(-1, 1) * scale, kh * kw, axis=1
+        )
+        return col2im(
+            grad_cols, (n * c, 1, h, w), kh, kw, self.stride, (0, 0)
+        ).reshape(n, c, h, w)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        return (c, (h - kh) // sh + 1, (w - kw) // sw + 1)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        self._mask = (x > 0.0) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation (classic LeNet nonlinearity)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions into one feature axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out.reshape(self._shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class BatchNorm2D(Layer):
+    """Batch normalisation over the channel axis of NCHW tensors.
+
+    Training mode normalises with batch statistics and updates the
+    running estimates; inference mode uses the running estimates. The
+    learnable scale/shift (``gamma``/``beta``) are counted as "other"
+    parameters — the profiler's conv/dense split ignores them, matching
+    their negligible compute cost.
+
+    .. note:: The running statistics are *not* part of ``params`` and
+       therefore not carried by ``Sequential.get_weights`` — FedAvg
+       aggregation averages only learnable parameters. This reproduces
+       the well-known batch-norm/FedAvg mismatch (each client keeps its
+       own running stats); prefer norm-free architectures for federated
+       models, as the paper's LeNet/VGG6 configurations do.
+    """
+
+    kind = "other"
+
+    def __init__(
+        self, num_channels: int, momentum: float = 0.9, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_channels = int(num_channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params = {
+            "gamma": np.ones(num_channels, dtype=np.float64),
+            "beta": np.zeros(num_channels, dtype=np.float64),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"BatchNorm2D expects (N, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean
+                + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var
+                + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[
+            None, :, None, None
+        ]
+        out = (
+            self.params["gamma"][None, :, None, None] * x_hat
+            + self.params["beta"][None, :, None, None]
+        )
+        if training:
+            self._cache = (x_hat, inv_std)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward")
+        x_hat, inv_std = self._cache
+        n, c, h, w = grad_out.shape
+        m = n * h * w
+        self.grads["gamma"][...] = (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.grads["beta"][...] = grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.params["gamma"][None, :, None, None]
+        # standard batch-norm input gradient
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True).transpose(1, 0, 2, 3)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True).transpose(
+            1, 0, 2, 3
+        )
+        grad_in = (
+            inv_std[None, :, None, None]
+            / m
+            * (
+                m * g
+                - sum_g.transpose(1, 0, 2, 3)
+                - x_hat * sum_gx.transpose(1, 0, 2, 3)
+            )
+        )
+        return grad_in
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,56 @@
+"""Loss functions for the NumPy training stack."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "accuracy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-subtraction for stability."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over a batch and its gradient w.r.t. logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, K)`` unnormalised scores.
+    labels:
+        ``(N,)`` integer class ids in ``[0, K)``.
+
+    Returns
+    -------
+    loss:
+        Scalar mean negative log-likelihood.
+    grad:
+        ``(N, K)`` gradient of the mean loss w.r.t. ``logits``.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch size {n}"
+        )
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(n), labels] + eps).mean()
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return float(loss), grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy of a batch of logits."""
+    return float((logits.argmax(axis=1) == labels).mean())

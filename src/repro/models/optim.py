@@ -1,0 +1,70 @@
+"""Optimisers for the NumPy training stack."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD"]
+
+
+class Optimizer:
+    """Base optimiser over a list of ``(params, grads)`` dict pairs."""
+
+    def __init__(self, parameters: Iterable[Tuple[Dict, Dict]]):
+        self.parameters: List[Tuple[Dict, Dict]] = list(parameters)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset every gradient buffer in place."""
+        for _, grads in self.parameters:
+            for g in grads.values():
+                g[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Matches the plain-SGD training the paper runs on-device (DL4J uses
+    momentum SGD by default for the LeNet/VGG6 configs).
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tuple[Dict, Dict]],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: List[Dict[str, np.ndarray]] = [
+            {k: np.zeros_like(v) for k, v in params.items()}
+            for params, _ in self.parameters
+        ]
+
+    def step(self) -> None:
+        """Apply one update: ``v = mu v - lr (g + wd p); p += v``."""
+        for (params, grads), vel in zip(self.parameters, self._velocity):
+            for name, p in params.items():
+                g = grads[name]
+                if self.weight_decay and name == "W":
+                    g = g + self.weight_decay * p
+                if self.momentum:
+                    v = vel[name]
+                    v *= self.momentum
+                    v -= self.lr * g
+                    p += v
+                else:
+                    p -= self.lr * g

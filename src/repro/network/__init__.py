@@ -1,0 +1,19 @@
+"""Network substrate: WiFi/LTE link models matched to the paper's
+measurements and per-round model-transfer cost helpers."""
+
+from .congestion import congested_round_comm, fair_share_completion_times
+from .link import LINK_PRESETS, LTE, WIFI, Link, make_link
+from .transfer import CommCost, comm_fraction, round_comm_cost
+
+__all__ = [
+    "congested_round_comm",
+    "fair_share_completion_times",
+    "LINK_PRESETS",
+    "LTE",
+    "WIFI",
+    "Link",
+    "make_link",
+    "CommCost",
+    "comm_fraction",
+    "round_comm_cost",
+]

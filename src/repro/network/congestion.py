@@ -1,0 +1,119 @@
+"""Server-side congestion: testing the paper's no-congestion assumption.
+
+Sec. IV-A assumes "the parameter server has sufficient bandwidth so
+simultaneous transmissions do not cause network congestion or
+performance saturation". This module models what happens when that
+fails: ``n`` devices pushing their models simultaneously share the
+server's uplink capacity under processor-sharing (fair share), the
+standard fluid model of TCP fairness.
+
+The completion times follow the classic water-filling recursion: while
+``k`` transfers are active each progresses at ``C/k``; as transfers
+finish, survivors speed up. Devices whose own link is slower than their
+fair share are bottlenecked by their access link instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["fair_share_completion_times", "congested_round_comm"]
+
+
+def fair_share_completion_times(
+    sizes_mb: Sequence[float],
+    device_mbps: Sequence[float],
+    server_mbps: float,
+) -> np.ndarray:
+    """Completion times of simultaneous uploads under fair sharing.
+
+    Parameters
+    ----------
+    sizes_mb:
+        Megabytes each device uploads (0 = no upload, completes at 0).
+    device_mbps:
+        Each device's own access-link rate (its rate ceiling).
+    server_mbps:
+        The server's total ingress capacity, shared by active flows.
+
+    Returns
+    -------
+    Completion time per device, in seconds.
+
+    The fluid simulation advances between flow-completion events: at
+    each step every active flow receives ``min(own_rate, fair_share)``
+    where the fair share redistributes capacity unused by
+    device-limited flows (max-min fairness).
+    """
+    sizes = np.asarray(sizes_mb, dtype=np.float64) * 8.0  # megabits
+    rates_cap = np.asarray(device_mbps, dtype=np.float64)
+    if sizes.shape != rates_cap.shape:
+        raise ValueError("sizes and device rates must align")
+    if (sizes < 0).any() or (rates_cap <= 0).any():
+        raise ValueError("sizes must be >=0 and device rates positive")
+    if server_mbps <= 0:
+        raise ValueError("server capacity must be positive")
+
+    n = sizes.shape[0]
+    remaining = sizes.copy()
+    done = np.zeros(n)
+    clock = 0.0
+    active = remaining > 0
+    for _ in range(n + 1):
+        if not active.any():
+            break
+        # max-min fair allocation among active flows
+        alloc = np.zeros(n)
+        idx = np.flatnonzero(active)
+        capacity = server_mbps
+        caps = rates_cap[idx].copy()
+        share_idx = list(range(len(idx)))
+        while share_idx:
+            fair = capacity / len(share_idx)
+            limited = [i for i in share_idx if caps[i] <= fair]
+            if not limited:
+                for i in share_idx:
+                    alloc[idx[i]] = fair
+                break
+            for i in limited:
+                alloc[idx[i]] = caps[i]
+                capacity -= caps[i]
+                share_idx.remove(i)
+        # time until the next flow finishes
+        with np.errstate(divide="ignore"):
+            ttf = np.where(
+                active & (alloc > 0), remaining / np.maximum(alloc, 1e-12),
+                np.inf,
+            )
+        step = float(ttf[active].min())
+        clock += step
+        remaining = np.where(active, remaining - alloc * step, remaining)
+        finished = active & (remaining <= 1e-9)
+        done[finished] = clock
+        active = active & ~finished
+    return done
+
+
+def congested_round_comm(
+    model_size_mb: float,
+    n_participants: int,
+    device_mbps: float,
+    server_mbps: float,
+) -> float:
+    """Worst participant's upload time when everyone pushes at once.
+
+    Symmetric special case used by the ablation benchmark: with ``n``
+    identical flows, fair share gives everyone ``server/n`` (capped at
+    the device rate), so the round's comm tail is
+    ``size / min(device, server/n)``.
+    """
+    if n_participants <= 0:
+        raise ValueError("n_participants must be positive")
+    times = fair_share_completion_times(
+        [model_size_mb] * n_participants,
+        [device_mbps] * n_participants,
+        server_mbps,
+    )
+    return float(times.max())

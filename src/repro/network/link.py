@@ -1,0 +1,89 @@
+"""Wireless link models.
+
+The paper measures model push/pull over two networks (Sec. III-A):
+
+* campus **WiFi** at ~80-90 Mbps symmetric to an AWS server;
+* T-Mobile **LTE** (-94 dBm) at ~60 Mbps up / ~11 Mbps down.
+
+A link is characterised by uplink/downlink bandwidth, a base round-trip
+latency, and optional lognormal bandwidth jitter. Transfer time for
+``size_mb`` bytes is ``rtt/2 + size / effective_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Link", "WIFI", "LTE", "make_link", "LINK_PRESETS"]
+
+
+@dataclass
+class Link:
+    """A bidirectional wireless link between a device and the server.
+
+    Bandwidths are megabits/second; ``rtt_s`` is the round-trip latency
+    to the parameter server (the paper uploads to AWS us-east from
+    Norfolk VA, ~20 ms). ``jitter`` is the sigma of a lognormal factor
+    on the instantaneous bandwidth (0 = deterministic).
+    """
+
+    name: str
+    uplink_mbps: float
+    downlink_mbps: float
+    rtt_s: float = 0.02
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.rtt_s < 0 or self.jitter < 0:
+            raise ValueError("rtt and jitter must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _effective(self, nominal_mbps: float) -> float:
+        if self.jitter == 0.0:
+            return nominal_mbps
+        # Lognormal with mean 1: multiplicative fluctuation.
+        factor = self._rng.lognormal(-0.5 * self.jitter**2, self.jitter)
+        return nominal_mbps * factor
+
+    def upload_time_s(self, size_mb: float) -> float:
+        """Seconds to upload ``size_mb`` megabytes (device -> server)."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        bw = self._effective(self.uplink_mbps)
+        return self.rtt_s / 2.0 + size_mb * 8.0 / bw
+
+    def download_time_s(self, size_mb: float) -> float:
+        """Seconds to download ``size_mb`` megabytes (server -> device)."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        bw = self._effective(self.downlink_mbps)
+        return self.rtt_s / 2.0 + size_mb * 8.0 / bw
+
+    def round_trip_time_s(self, size_mb: float) -> float:
+        """Pull + push of the same payload (one FL round's comm cost)."""
+        return self.download_time_s(size_mb) + self.upload_time_s(size_mb)
+
+
+#: measured presets from the paper
+WIFI = dict(name="wifi", uplink_mbps=85.0, downlink_mbps=85.0, rtt_s=0.02)
+LTE = dict(name="lte", uplink_mbps=60.0, downlink_mbps=11.0, rtt_s=0.05)
+
+LINK_PRESETS: Dict[str, dict] = {"wifi": WIFI, "lte": LTE}
+
+
+def make_link(preset: str, jitter: float = 0.0, seed: int = 0) -> Link:
+    """Instantiate a link preset by name (``"wifi"`` or ``"lte"``)."""
+    try:
+        cfg = LINK_PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown link preset {preset!r}; "
+            f"available: {sorted(LINK_PRESETS)}"
+        ) from None
+    return Link(jitter=jitter, seed=seed, **cfg)

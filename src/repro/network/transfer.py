@@ -1,0 +1,49 @@
+"""Model transfer costs.
+
+Each FL round the server pushes the global model to every participant
+and pulls their updates back (Sec. III-A). Communication cost per user
+per round is therefore one download plus one upload of the serialised
+model. The helpers here compute those times and the communication
+fraction reported in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.network import Sequential
+from ..models.zoo import model_wire_mb
+from .link import Link
+
+__all__ = ["CommCost", "round_comm_cost", "comm_fraction"]
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Per-round communication breakdown for one user (seconds)."""
+
+    download_s: float
+    upload_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.download_s + self.upload_s
+
+
+def round_comm_cost(model: Sequential, link: Link) -> CommCost:
+    """Push + pull cost of one model over one link."""
+    size = model_wire_mb(model)
+    return CommCost(
+        download_s=link.download_time_s(size),
+        upload_s=link.upload_time_s(size),
+    )
+
+
+def comm_fraction(compute_s: float, comm: CommCost) -> float:
+    """Fraction of the round spent communicating (Table II percentages)."""
+    if compute_s < 0:
+        raise ValueError("compute time must be non-negative")
+    total = compute_s + comm.total_s
+    if total == 0:
+        return 0.0
+    return comm.total_s / total

@@ -1,0 +1,18 @@
+"""Performance profiling substrate: the paper's two-step linear
+regression from (model parameters, data size) to training time."""
+
+from .profiler import DeviceProfile, TimeCurve, bootstrap_curve, build_profile
+from .online import OnlineTimeProfile
+from .regression import LinearRegressor
+from .trace import ProfileMeasurement, measure_grid
+
+__all__ = [
+    "DeviceProfile",
+    "TimeCurve",
+    "build_profile",
+    "bootstrap_curve",
+    "LinearRegressor",
+    "OnlineTimeProfile",
+    "ProfileMeasurement",
+    "measure_grid",
+]

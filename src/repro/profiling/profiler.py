@@ -1,0 +1,175 @@
+"""The two-step performance profiler (Sec. IV-B, Fig. 4).
+
+**Step 1** — for each profiled data size ``d``, fit a multiple linear
+regression of training time on ``(conv_params, dense_params)`` across
+the measured architectures:
+
+    y_i = b0 + b1 * x_conv + b2 * x_dense + e_i        (Eq. 1)
+
+**Step 2** — given a (possibly unseen) model architecture, evaluate the
+step-1 regressions at its parameter split to obtain one time estimate
+per data size, then regress those estimates on data size. The result is
+a per-device, per-model *time curve* ``T_j(n_samples)`` that the
+scheduling algorithms consume.
+
+The default step-2 fit is linear, exactly as in the paper; a quadratic
+option exists as an ablation because thermally-throttled devices
+(Nexus 6P) have superlinear time-vs-data curves that a linear profile
+underestimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..device.device import MobileDevice
+from ..models.network import ParameterSplit, Sequential
+from .regression import LinearRegressor
+from .trace import ProfileMeasurement, measure_grid
+
+__all__ = ["DeviceProfile", "build_profile", "bootstrap_curve", "TimeCurve"]
+
+#: a fitted time-vs-samples curve for one (device, model) pair
+TimeCurve = Callable[[float], float]
+
+
+@dataclass
+class DeviceProfile:
+    """Fitted profile of one device.
+
+    ``step1`` maps each profiled data size to its fitted
+    (conv, dense) -> time regressor. :meth:`time_curve` runs step 2 for
+    a concrete architecture and returns a callable ``T(n_samples)``.
+    """
+
+    device_name: str
+    data_sizes: Tuple[int, ...]
+    step1: Dict[int, LinearRegressor]
+    measurements: List[ProfileMeasurement] = field(default_factory=list)
+    quadratic_step2: bool = False
+
+    def predict_at_sizes(self, split: ParameterSplit) -> np.ndarray:
+        """Step-1 estimates: one time per profiled data size."""
+        x = np.array([split.as_tuple()], dtype=np.float64)
+        return np.array(
+            [float(self.step1[d].predict(x)[0]) for d in self.data_sizes]
+        )
+
+    def fit_step2(self, split: ParameterSplit) -> LinearRegressor:
+        """Step-2 regression of step-1 estimates on data size."""
+        y = self.predict_at_sizes(split)
+        x = np.asarray(self.data_sizes, dtype=np.float64).reshape(-1, 1)
+        return LinearRegressor(quadratic=self.quadratic_step2).fit(x, y)
+
+    def time_curve(self, model: Sequential) -> TimeCurve:
+        """Return ``T(n_samples)`` for a model on this device.
+
+        Predictions are clamped at a small positive floor: a regression
+        extrapolated to tiny sizes can dip below zero, but Property 1
+        (non-decreasing cost) must survive, since Fed-LBAP's correctness
+        depends on it.
+        """
+        reg = self.fit_step2(model.param_split())
+
+        def curve(n_samples: float) -> float:
+            t = float(reg.predict([[float(n_samples)]])[0])
+            return max(t, 1e-6)
+
+        return curve
+
+    def predict(self, model: Sequential, n_samples: float) -> float:
+        """Convenience: one-off prediction (builds the curve each call)."""
+        return self.time_curve(model)(n_samples)
+
+    def step1_r2(self) -> Dict[int, float]:
+        """Goodness of fit of each step-1 hyperplane on its own data."""
+        out: Dict[int, float] = {}
+        for d in self.data_sizes:
+            ms = [m for m in self.measurements if m.n_samples == d]
+            x = np.array(
+                [(m.conv_params, m.dense_params) for m in ms],
+                dtype=np.float64,
+            )
+            y = np.array([m.time_s for m in ms])
+            out[d] = self.step1[d].r2(x, y)
+        return out
+
+
+def build_profile(
+    device: MobileDevice,
+    models: Sequence[Sequential],
+    data_sizes: Sequence[int],
+    batch_size: int = 20,
+    quadratic_step2: bool = False,
+    cold_start: bool = True,
+) -> DeviceProfile:
+    """Measure a model/data-size grid on a device and fit step 1.
+
+    At least three architectures are required per data size (the step-1
+    hyperplane has three coefficients).
+    """
+    if len(models) < 3:
+        raise ValueError("step-1 regression needs at least 3 architectures")
+    measurements = measure_grid(
+        device, models, data_sizes, batch_size=batch_size,
+        cold_start=cold_start,
+    )
+    step1: Dict[int, LinearRegressor] = {}
+    for d in data_sizes:
+        ms = [m for m in measurements if m.n_samples == d]
+        x = np.array(
+            [(m.conv_params, m.dense_params) for m in ms], dtype=np.float64
+        )
+        y = np.array([m.time_s for m in ms])
+        step1[int(d)] = LinearRegressor().fit(x, y)
+    return DeviceProfile(
+        device_name=device.spec.name,
+        data_sizes=tuple(int(d) for d in data_sizes),
+        step1=step1,
+        measurements=measurements,
+        quadratic_step2=quadratic_step2,
+    )
+
+
+def bootstrap_curve(
+    device: MobileDevice,
+    model: Sequential,
+    data_sizes: Sequence[int],
+    batch_size: int = 20,
+    quadratic: bool = False,
+    cold_start: bool = True,
+) -> TimeCurve:
+    """Online-bootstrap profile: measure *this* model at several sizes
+    and fit time vs data size directly (the paper's "online through a
+    bootstrapping phase" profiling path, Sec. IV-B).
+
+    Skips step 1 — no cross-architecture generalisation, but the most
+    accurate curve for a known model, which is what the scheduling
+    experiments feed to Fed-LBAP / Fed-MinAvg.
+    """
+    if len(data_sizes) < (3 if quadratic else 2):
+        raise ValueError("need enough sizes to identify the fit")
+    measurements = measure_grid(
+        device, [model], data_sizes, batch_size=batch_size,
+        cold_start=cold_start,
+    )
+    x = np.array(
+        [[float(m.n_samples)] for m in measurements], dtype=np.float64
+    )
+    y = np.array([m.time_s for m in measurements])
+    reg = LinearRegressor(quadratic=quadratic).fit(x, y)
+
+    # Scalar closed form: schedulers evaluate curves millions of times,
+    # so skip the array machinery of LinearRegressor.predict.
+    b0 = reg.intercept_
+    b1 = float(reg.coef_[0])
+    b2 = float(reg.coef_[1]) if quadratic else 0.0
+
+    def curve(n_samples: float) -> float:
+        t = b0 + b1 * n_samples + b2 * n_samples * n_samples
+        return t if t > 1e-6 else 1e-6
+
+    return curve

@@ -1,0 +1,83 @@
+"""Multiple linear regression via least squares.
+
+The paper's profiler (Sec. IV-B) fits ``y_i = b0 + sum_j b_j x_ij + e``
+by solving the least-squares problem. This is the small, dependency-free
+regressor both profiling steps share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearRegressor"]
+
+
+class LinearRegressor:
+    """Ordinary least squares with intercept.
+
+    Features may optionally be augmented with squared terms
+    (``quadratic=True``) — used by the profiler ablation that captures
+    thermal superlinearity in the time-vs-data-size relation.
+    """
+
+    def __init__(self, quadratic: bool = False) -> None:
+        self.quadratic = quadratic
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self._n_features: Optional[int] = None
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D (n_samples, n_features)")
+        if self.quadratic:
+            x = np.hstack([x, x**2])
+        ones = np.ones((x.shape[0], 1))
+        return np.hstack([ones, x])
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        """Fit on ``(n_samples, n_features)`` x and ``(n_samples,)`` y."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]}"
+            )
+        self._n_features = x.shape[1]
+        design = self._design(x)
+        if design.shape[0] < design.shape[1]:
+            raise ValueError(
+                f"need at least {design.shape[1]} samples to fit "
+                f"{design.shape[1]} coefficients, got {design.shape[0]}"
+            )
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(beta[0])
+        self.coef_ = beta[1:]
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``(n_samples, n_features)`` x."""
+        if self.coef_ is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {x.shape[1]}"
+            )
+        return self._design(x) @ np.concatenate(
+            [[self.intercept_], self.coef_]
+        )
+
+    def r2(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination on the given data."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = self.predict(x)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            # Constant target: perfect iff residuals are numerically zero.
+            scale = max(1.0, float((y**2).sum()))
+            return 1.0 if ss_res < 1e-12 * scale else 0.0
+        return 1.0 - ss_res / ss_tot

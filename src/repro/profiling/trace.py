@@ -1,0 +1,77 @@
+"""Measurement collection for offline profiling.
+
+The server "builds performance profiles for the participants ... either
+online through a bootstrapping phase or offline measured by a collection
+of devices" (Sec. IV-B). Here the collection runs against the device
+simulator: each (architecture, data size) cell is trained once from a
+cold start and its virtual wall time recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..device.device import MobileDevice
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.network import Sequential
+
+__all__ = ["ProfileMeasurement", "measure_grid"]
+
+
+@dataclass(frozen=True)
+class ProfileMeasurement:
+    """One profiling run: a model trained on ``n_samples`` samples."""
+
+    model_name: str
+    conv_params: int
+    dense_params: int
+    n_samples: int
+    time_s: float
+
+
+def measure_grid(
+    device: MobileDevice,
+    models: Sequence[Sequential],
+    data_sizes: Sequence[int],
+    batch_size: int = 20,
+    cold_start: bool = True,
+) -> List[ProfileMeasurement]:
+    """Train every model at every data size; return the measurements.
+
+    ``cold_start`` resets the device (ambient temperature, full battery)
+    before each run, matching an offline lab profiling procedure with
+    cool-down between measurements. Passing ``False`` profiles the
+    sustained-load regime instead.
+    """
+    if not models:
+        raise ValueError("need at least one model to profile")
+    if not data_sizes or any(d <= 0 for d in data_sizes):
+        raise ValueError("data sizes must be positive")
+    out: List[ProfileMeasurement] = []
+    for model in models:
+        split = model.param_split()
+        flops = model_training_flops(model)
+        for d in data_sizes:
+            if cold_start:
+                device.reset()
+            workload = TrainingWorkload(
+                flops_per_sample=flops,
+                n_samples=int(d),
+                batch_size=batch_size,
+                model_name=model.name,
+            )
+            trace = device.run_workload(workload, record=False)
+            out.append(
+                ProfileMeasurement(
+                    model_name=model.name,
+                    conv_params=split.conv,
+                    dense_params=split.dense,
+                    n_samples=int(d),
+                    time_s=trace.total_time_s,
+                )
+            )
+    return out

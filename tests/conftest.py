@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticConfig, make_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, quick-to-train dataset shared across tests."""
+    return make_dataset(
+        SyntheticConfig(
+            name="tiny",
+            shape=(1, 8, 8),
+            num_classes=10,
+            train_size=600,
+            test_size=200,
+            noise=1.0,
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_rgb_dataset():
+    """A small 3-channel dataset for conv tests."""
+    return make_dataset(
+        SyntheticConfig(
+            name="tiny_rgb",
+            shape=(3, 8, 8),
+            num_classes=10,
+            train_size=400,
+            test_size=150,
+            noise=2.0,
+            seed=43,
+        )
+    )

@@ -1,0 +1,138 @@
+"""Accuracy-cost (Eq. 6) tests across all discount semantics."""
+
+import pytest
+
+from repro.core.accuracy_cost import AccuracyCostTracker, accuracy_cost
+
+
+class TestAccuracyCostFunction:
+    def test_inverse_in_class_count(self):
+        a = accuracy_cost((0,), {0}, 10, alpha=1.0, beta=0.0,
+                          scheduled_shards=0)
+        b = accuracy_cost((0, 1), {0}, 10, alpha=1.0, beta=0.0,
+                          scheduled_shards=0)
+        assert a == pytest.approx(10.0)
+        assert b == pytest.approx(5.0)
+
+    def test_strict_condition_blocks_discount(self):
+        # user shares class 0 with covered set: no deduction
+        v = accuracy_cost((0, 7), {0}, 10, alpha=1.0, beta=2.0,
+                          scheduled_shards=50)
+        assert v == pytest.approx(10.0 / 2)
+
+    def test_discount_applies_when_disjoint(self):
+        v = accuracy_cost((7, 8), {0, 1}, 10, alpha=1.0, beta=2.0,
+                          scheduled_shards=50)
+        assert v == pytest.approx(5.0 - 100.0)
+
+    def test_forced_discount_flag(self):
+        v = accuracy_cost((0,), {0}, 10, alpha=1.0, beta=1.0,
+                          scheduled_shards=10, discount=True)
+        assert v == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_cost((), set(), 10, 1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            accuracy_cost((0,), set(), 0, 1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            accuracy_cost((0,), set(), 10, -1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            accuracy_cost((0,), set(), 10, 1.0, 0.0, -1)
+
+
+class TestTrackerDisjoint:
+    def make(self, beta=2.0, semantics="disjoint"):
+        return AccuracyCostTracker(
+            [(0, 1, 2), (2, 3), (7, 8)],
+            num_classes=10,
+            alpha=30.0,
+            beta=beta,
+            semantics=semantics,
+        )
+
+    def test_initial_costs_are_bases(self):
+        tr = self.make()
+        assert tr.scaled_cost(0) == pytest.approx(100.0)
+        assert tr.scaled_cost(1) == pytest.approx(150.0)
+        assert tr.scaled_cost(2) == pytest.approx(150.0)
+
+    def test_disjoint_shards_accumulate_only_for_disjoint_users(self):
+        tr = self.make()
+        tr.record_assignment(0, 5)  # classes {0,1,2}
+        # user 1 shares class 2 -> no discount; user 2 disjoint -> -10
+        assert tr.scaled_cost(1) == pytest.approx(150.0)
+        assert tr.scaled_cost(2) == pytest.approx(150.0 - 2.0 * 5)
+
+    def test_own_shards_do_not_discount_self(self):
+        tr = self.make()
+        tr.record_assignment(2, 4)
+        assert tr.scaled_cost(2) == pytest.approx(150.0)
+
+    def test_coverage_fraction(self):
+        tr = self.make()
+        assert tr.coverage_fraction() == 0.0
+        tr.record_assignment(0, 1)
+        assert tr.coverage_fraction() == pytest.approx(0.3)
+        tr.record_assignment(2, 1)
+        assert tr.coverage_fraction() == pytest.approx(0.5)
+
+    def test_brings_new_classes(self):
+        tr = self.make()
+        tr.record_assignment(0, 1)
+        assert not tr.brings_new_classes(0)
+        assert tr.brings_new_classes(1)  # class 3 new
+        assert tr.brings_new_classes(2)
+
+    def test_scheduled_shards_counter(self):
+        tr = self.make()
+        tr.record_assignment(0, 3)
+        tr.record_assignment(1, 2)
+        assert tr.scheduled_shards == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyCostTracker([(0,)], 10, 1.0, 0.0, semantics="bogus")
+        with pytest.raises(ValueError):
+            AccuracyCostTracker([()], 10, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            AccuracyCostTracker([(10,)], 10, 1.0, 0.0)
+        tr = self.make()
+        with pytest.raises(ValueError):
+            tr.record_assignment(0, 0)
+
+
+class TestTrackerAlternativeSemantics:
+    def test_strict_loses_discount_on_any_overlap(self):
+        tr = AccuracyCostTracker(
+            [(0, 1), (1, 7)], 10, alpha=1.0, beta=2.0, semantics="strict"
+        )
+        tr.record_assignment(0, 5)
+        # user 1 shares class 1 with covered set -> base only
+        assert tr.scaled_cost(1) == pytest.approx(5.0)
+
+    def test_strict_discounts_fully_disjoint_user(self):
+        tr = AccuracyCostTracker(
+            [(0, 1), (7, 8)], 10, alpha=1.0, beta=2.0, semantics="strict"
+        )
+        tr.record_assignment(0, 5)
+        assert tr.scaled_cost(1) == pytest.approx(5.0 - 10.0)
+
+    def test_unique_semantics_persists_for_sole_holder(self):
+        tr = AccuracyCostTracker(
+            [(0, 1), (1, 7)], 10, alpha=1.0, beta=2.0, semantics="unique"
+        )
+        tr.record_assignment(0, 3)
+        tr.record_assignment(1, 2)
+        # class 7 held only by user 1: still discounted after scheduling
+        assert tr.scaled_cost(1) < 5.0
+
+    def test_coverage_semantics_tracks_balance(self):
+        tr = AccuracyCostTracker(
+            [(0,), (1,)], 10, alpha=1.0, beta=2.0, semantics="coverage"
+        )
+        tr.record_assignment(0, 10)
+        # class 1 has zero supply < balanced share -> user 1 discounted
+        assert tr.scaled_cost(1) < 10.0
+        # class 0 has 10 shards > balanced 1.0 -> user 0 not discounted
+        assert tr.scaled_cost(0) == pytest.approx(10.0)

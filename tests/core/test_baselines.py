@@ -1,0 +1,81 @@
+"""Baseline scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    equal_schedule,
+    mean_cpu_freq_per_core,
+    proportional_schedule,
+    random_schedule,
+)
+from repro.device.registry import build_spec
+
+
+class TestEqual:
+    def test_even_split(self):
+        s = equal_schedule(4, 20, 100)
+        np.testing.assert_array_equal(s.shard_counts, [5, 5, 5, 5])
+
+    def test_remainder(self):
+        s = equal_schedule(3, 10, 100)
+        assert s.total_shards == 10
+        assert s.shard_counts.max() - s.shard_counts.min() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_schedule(0, 10, 100)
+
+
+class TestRandom:
+    def test_total_preserved(self, rng):
+        s = random_schedule(5, 33, 100, rng)
+        assert s.total_shards == 33
+
+    def test_deterministic_per_seed(self):
+        a = random_schedule(5, 50, 100, np.random.default_rng(3))
+        b = random_schedule(5, 50, 100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.shard_counts, b.shard_counts)
+
+    def test_spreads_on_average(self):
+        totals = np.zeros(4)
+        for seed in range(50):
+            s = random_schedule(4, 40, 100, np.random.default_rng(seed))
+            totals += s.shard_counts
+        np.testing.assert_allclose(totals / 50, 10.0, atol=1.5)
+
+
+class TestProportional:
+    def test_mean_cpu_freq(self):
+        n6 = build_spec("nexus6")
+        assert mean_cpu_freq_per_core(n6) == pytest.approx(2.7)
+        n6p = build_spec("nexus6p")
+        assert mean_cpu_freq_per_core(n6p) == pytest.approx(
+            (4 * 1.55 + 4 * 2.0) / 8
+        )
+
+    def test_proportional_to_frequency(self):
+        specs = [build_spec("nexus6"), build_spec("nexus6p")]
+        s = proportional_schedule(specs, 100, 100)
+        assert s.total_shards == 100
+        # 2.7 GHz/core vs 1.775 GHz/core -> nexus6 gets more
+        assert s.shard_counts[0] > s.shard_counts[1]
+
+    def test_explicit_weights(self):
+        s = proportional_schedule([], 10, 100, weights=[1.0, 3.0])
+        assert s.total_shards == 10
+        assert s.shard_counts[1] >= 3 * s.shard_counts[0] - 1
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            proportional_schedule([], 10, 100, weights=[1.0, -1.0])
+        with pytest.raises(ValueError):
+            proportional_schedule([], 10, 100, weights=[])
+
+    def test_algorithm_labels(self, rng):
+        assert equal_schedule(2, 4, 1).algorithm == "equal"
+        assert random_schedule(2, 4, 1, rng).algorithm == "random"
+        assert (
+            proportional_schedule([], 4, 1, weights=[1, 1]).algorithm
+            == "proportional"
+        )

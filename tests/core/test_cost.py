@@ -1,0 +1,84 @@
+"""Cost-matrix construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    build_cost_matrix,
+    comm_costs_for,
+    enforce_property1,
+    oracle_curves,
+)
+from repro.device.registry import make_device
+from repro.models import lenet_mini
+from repro.network.link import make_link
+
+
+class TestProperty1:
+    def test_enforce_makes_rows_monotone(self):
+        c = np.array([[3.0, 2.0, 5.0], [1.0, 1.0, 0.5]])
+        out = enforce_property1(c)
+        assert (np.diff(out, axis=1) >= 0).all()
+        np.testing.assert_allclose(out[0], [3.0, 3.0, 5.0])
+
+    def test_monotone_input_unchanged(self):
+        c = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(enforce_property1(c), c)
+
+
+class TestBuildCostMatrix:
+    def test_shape_and_values(self):
+        curves = [lambda x: 0.01 * x, lambda x: 0.02 * x]
+        c = build_cost_matrix(curves, n_shards=4, shard_size=100)
+        assert c.shape == (2, 4)
+        np.testing.assert_allclose(c[0], [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(c[1], [2.0, 4.0, 6.0, 8.0])
+
+    def test_comm_costs_added_per_row(self):
+        curves = [lambda x: 0.01 * x]
+        c = build_cost_matrix(curves, 3, 100, comm_costs=[10.0])
+        np.testing.assert_allclose(c[0], [11.0, 12.0, 13.0])
+
+    def test_rows_monotone_even_with_noisy_curves(self):
+        noisy = [lambda x: 1.0 + 0.01 * x * (1 if x != 200 else 0.1)]
+        c = build_cost_matrix(noisy, 4, 100)
+        assert (np.diff(c[0]) >= 0).all()
+
+    def test_negative_cost_rejected(self):
+        curves = [lambda x: -1.0]
+        with pytest.raises(ValueError):
+            build_cost_matrix(curves, 2, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cost_matrix([], 2, 100)
+        with pytest.raises(ValueError):
+            build_cost_matrix([lambda x: x], 0, 100)
+        with pytest.raises(ValueError):
+            build_cost_matrix([lambda x: x], 2, 100, comm_costs=[1.0, 2.0])
+
+
+class TestOracleCurves:
+    def test_oracle_matches_direct_simulation(self):
+        model = lenet_mini()
+        device = make_device("pixel2", jitter=0.0)
+        curve = oracle_curves([device], model)[0]
+        t = curve(1000)
+        assert t > 0
+        # same query twice: deterministic (cold start each time)
+        assert curve(1000) == pytest.approx(t)
+
+    def test_oracle_zero_samples(self):
+        model = lenet_mini()
+        device = make_device("pixel2", jitter=0.0)
+        curve = oracle_curves([device], model)[0]
+        assert curve(0) == 0.0
+
+
+class TestCommCostsFor:
+    def test_per_link_costs(self):
+        model = lenet_mini()
+        links = [make_link("wifi"), make_link("lte")]
+        costs = comm_costs_for(model, links)
+        assert costs.shape == (2,)
+        assert (costs > 0).all()

@@ -1,0 +1,83 @@
+"""Schedule container and makespan-evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import RoundCost, Schedule, evaluate_makespan
+
+
+def sched(counts, shard_size=100):
+    return Schedule(np.asarray(counts), shard_size)
+
+
+class TestSchedule:
+    def test_totals(self):
+        s = sched([2, 0, 3])
+        assert s.n_users == 3
+        assert s.total_shards == 5
+        assert s.total_samples == 500
+        np.testing.assert_array_equal(s.samples_per_user(), [200, 0, 300])
+
+    def test_participants(self):
+        s = sched([2, 0, 3])
+        np.testing.assert_array_equal(s.participants(), [0, 2])
+
+    def test_validate_total(self):
+        s = sched([2, 3])
+        s.validate_total(5)
+        with pytest.raises(ValueError):
+            s.validate_total(6)
+
+    def test_validate_capacities(self):
+        s = sched([2, 3])
+        s.validate_capacities([2, 3])
+        with pytest.raises(ValueError):
+            s.validate_capacities([1, 3])
+        with pytest.raises(ValueError):
+            s.validate_capacities([1])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            sched([-1, 2])
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(np.array([1]), 0)
+
+
+class TestEvaluateMakespan:
+    def curves(self):
+        return [lambda x: 0.01 * x, lambda x: 0.05 * x]
+
+    def test_makespan_is_max_participant(self):
+        cost = evaluate_makespan(sched([10, 10]), self.curves())
+        assert cost.makespan_s == pytest.approx(50.0)
+        assert cost.mean_s == pytest.approx(30.0)
+
+    def test_idle_users_excluded(self):
+        cost = evaluate_makespan(sched([10, 0]), self.curves())
+        assert cost.makespan_s == pytest.approx(10.0)
+        assert cost.per_user_s[1] == 0.0
+
+    def test_comm_costs_added_to_participants(self):
+        cost = evaluate_makespan(
+            sched([10, 0]), self.curves(), comm_costs=[5.0, 5.0]
+        )
+        assert cost.makespan_s == pytest.approx(15.0)
+        assert cost.per_user_s[1] == 0.0  # idle user pays nothing
+
+    def test_straggler_gap_and_efficiency(self):
+        cost = evaluate_makespan(sched([10, 10]), self.curves())
+        assert cost.straggler_gap == pytest.approx(20.0)
+        assert cost.parallel_efficiency == pytest.approx(0.6)
+
+    def test_empty_schedule(self):
+        cost = evaluate_makespan(sched([0, 0]), self.curves())
+        assert cost.makespan_s == 0.0
+        assert cost.parallel_efficiency == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_makespan(sched([1]), self.curves())
+        with pytest.raises(ValueError):
+            evaluate_makespan(sched([1, 1]), self.curves(), comm_costs=[1.0])

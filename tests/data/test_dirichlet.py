@@ -1,0 +1,95 @@
+"""Dirichlet label-skew partitioner tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import class_histogram, dirichlet_noniid_partition
+
+
+class TestDirichletPartition:
+    def test_total_and_disjoint(self, tiny_dataset, rng):
+        users = dirichlet_noniid_partition(tiny_dataset, 5, 0.5, rng)
+        total = sum(u.size for u in users)
+        assert total == tiny_dataset.train_size
+        all_idx = np.concatenate([u.indices for u in users])
+        assert len(all_idx) == len(set(all_idx.tolist()))
+
+    def test_low_concentration_is_skewed(self, tiny_dataset):
+        rng = np.random.default_rng(3)
+        users = dirichlet_noniid_partition(tiny_dataset, 6, 0.05, rng)
+        # extreme skew: most users miss many classes
+        missing = [
+            10 - u.num_classes() for u in users if u.size > 0
+        ]
+        assert max(missing) >= 4
+
+    def test_high_concentration_approaches_iid(self, tiny_dataset):
+        rng = np.random.default_rng(3)
+        users = dirichlet_noniid_partition(tiny_dataset, 5, 500.0, rng)
+        for u in users:
+            hist = class_histogram(tiny_dataset, u)
+            # every class represented, sizes near balanced
+            assert (hist > 0).all()
+            assert hist.max() < 4 * max(hist.min(), 1)
+
+    def test_skew_monotone_in_concentration(self, tiny_dataset):
+        def mean_classes(conc, seed):
+            rng = np.random.default_rng(seed)
+            users = dirichlet_noniid_partition(
+                tiny_dataset, 6, conc, rng
+            )
+            return np.mean([u.num_classes() for u in users])
+
+        lo = np.mean([mean_classes(0.05, s) for s in range(4)])
+        hi = np.mean([mean_classes(10.0, s) for s in range(4)])
+        assert hi > lo + 1.0
+
+    def test_classes_match_contents(self, tiny_dataset, rng):
+        users = dirichlet_noniid_partition(tiny_dataset, 4, 0.3, rng)
+        for u in users:
+            if u.size:
+                labels = set(tiny_dataset.y_train[u.indices].tolist())
+                assert labels == set(u.classes)
+
+    def test_min_size_enforced(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        users = dirichlet_noniid_partition(
+            tiny_dataset, 8, 0.02, rng, min_size=3
+        )
+        assert all(u.size >= 3 for u in users)
+
+    def test_total_subsample(self, tiny_dataset, rng):
+        users = dirichlet_noniid_partition(
+            tiny_dataset, 4, 1.0, rng, total=300
+        )
+        total = sum(u.size for u in users)
+        assert abs(total - 300) <= 10  # per-class rounding
+
+    def test_validation(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            dirichlet_noniid_partition(tiny_dataset, 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            dirichlet_noniid_partition(tiny_dataset, 3, 0.0, rng)
+        with pytest.raises(ValueError):
+            dirichlet_noniid_partition(
+                tiny_dataset, 3, 1.0, rng, total=10**9
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        n_users=st.integers(2, 8),
+        conc=st.floats(0.05, 50.0),
+    )
+    def test_property_conservation(self, tiny_dataset, seed, n_users, conc):
+        rng = np.random.default_rng(seed)
+        users = dirichlet_noniid_partition(
+            tiny_dataset, n_users, conc, rng
+        )
+        assert sum(u.size for u in users) == tiny_dataset.train_size
+        all_idx = np.concatenate(
+            [u.indices for u in users if u.size]
+        )
+        assert len(all_idx) == len(set(all_idx.tolist()))

@@ -1,0 +1,213 @@
+"""Partitioner tests: every data layout the paper evaluates."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    class_histogram,
+    iid_partition,
+    iid_sizes,
+    imbalanced_iid_sizes,
+    materialize_schedule,
+    nclass_noniid_classes,
+    noniid_partition,
+    outlier_scenario,
+    partition_from_sizes,
+)
+
+
+class TestIidSizes:
+    def test_equal_split(self):
+        np.testing.assert_array_equal(iid_sizes(4, 100), [25, 25, 25, 25])
+
+    def test_remainder_spread(self):
+        sizes = iid_sizes(3, 100)
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            iid_sizes(10, 5)
+
+
+class TestImbalancedSizes:
+    def test_sums_to_total(self, rng):
+        sizes = imbalanced_iid_sizes(10, 1000, 0.5, rng)
+        assert sizes.sum() == 1000
+        assert (sizes >= 1).all()
+
+    def test_zero_ratio_is_balanced(self, rng):
+        sizes = imbalanced_iid_sizes(10, 1000, 0.0, rng)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_realized_ratio_tracks_request(self, rng):
+        sizes = imbalanced_iid_sizes(50, 50_000, 0.6, rng)
+        realized = sizes.std() / sizes.mean()
+        assert 0.4 < realized < 0.8
+
+    def test_monotone_dispersion(self, rng):
+        lo = imbalanced_iid_sizes(30, 30_000, 0.2, np.random.default_rng(1))
+        hi = imbalanced_iid_sizes(30, 30_000, 0.9, np.random.default_rng(1))
+        assert hi.std() > lo.std()
+
+    def test_negative_ratio_raises(self, rng):
+        with pytest.raises(ValueError):
+            imbalanced_iid_sizes(5, 100, -0.1, rng)
+
+
+class TestPartitionFromSizes:
+    def test_sizes_respected(self, tiny_dataset, rng):
+        users = partition_from_sizes(tiny_dataset, [100, 200, 50], rng)
+        assert [u.size for u in users] == [100, 200, 50]
+
+    def test_class_uniform_mix(self, tiny_dataset, rng):
+        users = partition_from_sizes(tiny_dataset, [200, 200], rng)
+        for u in users:
+            hist = class_histogram(tiny_dataset, u)
+            assert hist.min() >= 15  # ~20 per class when uniform
+
+    def test_no_overlap_between_users(self, tiny_dataset, rng):
+        users = partition_from_sizes(tiny_dataset, [150, 150, 150], rng)
+        all_idx = np.concatenate([u.indices for u in users])
+        assert len(all_idx) == len(set(all_idx.tolist()))
+
+    def test_oversubscription_raises(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            partition_from_sizes(tiny_dataset, [500, 500], rng)
+
+    def test_iid_partition_covers_classes(self, tiny_dataset, rng):
+        users = iid_partition(tiny_dataset, 4, rng)
+        for u in users:
+            assert u.num_classes() == 10
+
+
+class TestNonIid:
+    def test_class_counts(self, rng):
+        sets = nclass_noniid_classes(8, 3, 10, rng)
+        assert len(sets) == 8
+        for s in sets:
+            assert len(s) == 3
+            assert all(0 <= c < 10 for c in s)
+
+    def test_full_coverage_when_possible(self, rng):
+        for seed in range(5):
+            sets = nclass_noniid_classes(
+                10, 4, 10, np.random.default_rng(seed)
+            )
+            covered = set(c for s in sets for c in s)
+            assert covered == set(range(10))
+
+    def test_invalid_classes_per_user(self, rng):
+        with pytest.raises(ValueError):
+            nclass_noniid_classes(5, 0, 10, rng)
+        with pytest.raises(ValueError):
+            nclass_noniid_classes(5, 11, 10, rng)
+
+    def test_partition_respects_class_sets(self, tiny_dataset, rng):
+        users = noniid_partition(tiny_dataset, 5, 3, rng)
+        for u in users:
+            labels = set(tiny_dataset.y_train[u.indices].tolist())
+            assert labels <= set(u.classes)
+
+    def test_partition_total(self, tiny_dataset, rng):
+        users = noniid_partition(tiny_dataset, 5, 3, rng, total=500)
+        assert sum(u.size for u in users) == 500
+
+    def test_size_std_disperses_class_sizes(self, tiny_dataset):
+        users = noniid_partition(
+            tiny_dataset, 4, 4, np.random.default_rng(3), size_std=0.8
+        )
+        hists = [class_histogram(tiny_dataset, u) for u in users]
+        spread = [h[h > 0].std() for h in hists if (h > 0).sum() > 1]
+        assert max(spread) > 0
+
+
+class TestOutlierScenario:
+    @pytest.mark.parametrize("mode", ["missing", "separate", "merge"])
+    def test_user_counts(self, tiny_dataset, mode):
+        users = outlier_scenario(
+            tiny_dataset, mode, np.random.default_rng(0),
+            samples_per_user=90,
+        )
+        expected = {"missing": 3, "separate": 4, "merge": 3}[mode]
+        assert len(users) == expected
+
+    def test_missing_excludes_one_class(self, tiny_dataset):
+        users = outlier_scenario(
+            tiny_dataset, "missing", np.random.default_rng(1),
+            samples_per_user=90,
+        )
+        covered = set(c for u in users for c in u.classes)
+        assert len(covered) == 9
+
+    def test_separate_adds_one_class_user(self, tiny_dataset):
+        users = outlier_scenario(
+            tiny_dataset, "separate", np.random.default_rng(1),
+            samples_per_user=90,
+        )
+        assert len(users[-1].classes) == 1
+        covered = set(c for u in users for c in u.classes)
+        assert len(covered) == 10
+
+    def test_merge_extends_last_user(self, tiny_dataset):
+        sep = outlier_scenario(
+            tiny_dataset, "separate", np.random.default_rng(1),
+            samples_per_user=90,
+        )
+        mer = outlier_scenario(
+            tiny_dataset, "merge", np.random.default_rng(1),
+            samples_per_user=90,
+        )
+        outlier_class = sep[-1].classes[0]
+        assert outlier_class in mer[-1].classes
+        assert len(mer[-1].classes) == 4
+
+    def test_same_seed_same_base_classes_across_modes(self, tiny_dataset):
+        a = outlier_scenario(
+            tiny_dataset, "missing", np.random.default_rng(2),
+            samples_per_user=90,
+        )
+        b = outlier_scenario(
+            tiny_dataset, "separate", np.random.default_rng(2),
+            samples_per_user=90,
+        )
+        assert [u.classes for u in a[:2]] == [v.classes for v in b[:2]]
+
+    def test_bad_mode_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            outlier_scenario(tiny_dataset, "exclude", np.random.default_rng(0))
+
+
+class TestMaterializeSchedule:
+    def test_counts_and_classes(self, tiny_dataset):
+        users = materialize_schedule(
+            tiny_dataset,
+            shard_counts=[3, 0, 2],
+            user_classes=[(0, 1), (2,), (3, 4, 5)],
+            shard_size=20,
+        )
+        assert [u.size for u in users] == [60, 0, 40]
+        for u in users:
+            if u.size:
+                labels = set(tiny_dataset.y_train[u.indices].tolist())
+                assert labels <= set(u.classes)
+
+    def test_zero_user_participates_not(self, tiny_dataset):
+        users = materialize_schedule(
+            tiny_dataset, [0, 1], [(0,), (1,)], shard_size=10
+        )
+        assert users[0].size == 0 and users[1].size == 10
+
+    def test_mismatched_lengths_raise(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            materialize_schedule(tiny_dataset, [1, 2], [(0,)], 10)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = materialize_schedule(
+            tiny_dataset, [2, 2], [(0, 1), (2, 3)], 15, seed=3
+        )
+        b = materialize_schedule(
+            tiny_dataset, [2, 2], [(0, 1), (2, 3)], 15, seed=3
+        )
+        for ua, ub in zip(a, b):
+            np.testing.assert_array_equal(ua.indices, ub.indices)

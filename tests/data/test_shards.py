@@ -1,0 +1,71 @@
+"""Shard bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.shards import ShardPool, samples_for_shards, shards_for_samples
+
+
+class TestConversions:
+    def test_ceiling_division(self):
+        assert shards_for_samples(100, 100) == 1
+        assert shards_for_samples(101, 100) == 2
+        assert shards_for_samples(0, 100) == 0
+
+    def test_samples_for_shards(self):
+        assert samples_for_shards(3, 100) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shards_for_samples(10, 0)
+        with pytest.raises(ValueError):
+            shards_for_samples(-1, 10)
+        with pytest.raises(ValueError):
+            samples_for_shards(-1, 10)
+
+
+class TestShardPool:
+    def make_pool(self, shard_size=10):
+        by_class = {
+            0: np.arange(0, 50),
+            1: np.arange(50, 100),
+        }
+        return ShardPool(by_class, shard_size, seed=0)
+
+    def test_draw_size(self):
+        pool = self.make_pool()
+        idx = pool.draw([0, 1], 4)
+        assert idx.shape == (40,)
+
+    def test_draw_without_replacement_first(self):
+        pool = self.make_pool()
+        idx = pool.draw([0], 5)  # exactly exhausts class 0
+        assert len(set(idx.tolist())) == 50
+
+    def test_round_robin_over_classes(self):
+        pool = self.make_pool()
+        idx = pool.draw([0, 1], 2)
+        first, second = idx[:10], idx[10:]
+        assert (first < 50).all()
+        assert (second >= 50).all()
+
+    def test_exhaustion_falls_back_to_replacement(self):
+        pool = self.make_pool()
+        idx = pool.draw([0], 7)  # 70 > 50 available
+        assert idx.shape == (70,)
+
+    def test_remaining_shards(self):
+        pool = self.make_pool()
+        assert pool.remaining_shards(0) == 5
+        pool.draw([0], 2)
+        assert pool.remaining_shards(0) == 3
+        assert pool.remaining_shards(99) == 0
+
+    def test_unknown_classes_raise(self):
+        pool = self.make_pool()
+        with pytest.raises(ValueError):
+            pool.draw([7], 1)
+
+    def test_zero_draw(self):
+        pool = self.make_pool()
+        assert pool.draw([0], 0).size == 0

@@ -1,0 +1,199 @@
+"""Calibration tests against the paper's Table I / Table II.
+
+These lock the simulator to the published measurements: per-epoch times
+within tolerance, the device orderings of Observation 1, and the
+Nexus 6P throttling pathology of Observation 2.
+"""
+
+import pytest
+
+from repro.device import (
+    DEVICE_NAMES,
+    TESTBEDS,
+    TrainingWorkload,
+    build_spec,
+    calibrate_efficiency,
+    make_device,
+    make_testbed,
+)
+from repro.experiments.table2 import PAPER_TABLE2
+from repro.models import MNIST_SHAPE, lenet, model_training_flops, vgg6
+
+LENET_FLOPS = model_training_flops(lenet())
+VGG_FLOPS = model_training_flops(vgg6(input_shape=MNIST_SHAPE))
+FLOPS = {"lenet": LENET_FLOPS, "vgg6": VGG_FLOPS}
+
+
+def epoch_time(device_name, model, n_samples):
+    dev = make_device(device_name, jitter=0.0)
+    w = TrainingWorkload(
+        flops_per_sample=FLOPS[model], n_samples=n_samples, batch_size=20
+    )
+    return dev.run_workload(w, record=False).total_time_s
+
+
+class TestTableII:
+    @pytest.mark.parametrize(
+        "key", sorted(PAPER_TABLE2), ids=lambda k: f"{k[0]}-{k[1]}-{k[2]}"
+    )
+    def test_epoch_times_within_tolerance(self, key):
+        model, device, n = key
+        sim = epoch_time(device, model, n)
+        paper = PAPER_TABLE2[key]
+        assert sim == pytest.approx(paper, rel=0.15), (
+            f"{key}: simulated {sim:.1f}s vs paper {paper}s"
+        )
+
+    def test_lenet_device_ordering(self):
+        """Observation 1: Pixel2 < Nexus6 < Mate10 < Nexus6P on LeNet."""
+        times = {d: epoch_time(d, "lenet", 3000) for d in DEVICE_NAMES}
+        assert (
+            times["pixel2"]
+            < times["nexus6"]
+            < times["mate10"]
+            < times["nexus6p"]
+        )
+
+    def test_vgg_device_ordering(self):
+        """On VGG6 the ordering flips: Nexus6 falls behind Mate10."""
+        times = {d: epoch_time(d, "vgg6", 3000) for d in DEVICE_NAMES}
+        assert times["mate10"] < times["nexus6"]
+        assert times["pixel2"] < times["nexus6"]
+
+    def test_nexus6p_superlinear_scaling(self):
+        """Observation 2: doubling data more than triples the time."""
+        t3 = epoch_time("nexus6p", "lenet", 3000)
+        t6 = epoch_time("nexus6p", "lenet", 6000)
+        assert t6 / t3 > 2.8
+
+    def test_linear_devices_scale_linearly(self):
+        for d in ("nexus6", "mate10", "pixel2"):
+            t3 = epoch_time(d, "lenet", 3000)
+            t6 = epoch_time(d, "lenet", 6000)
+            assert t6 / t3 == pytest.approx(2.0, abs=0.15), d
+
+    def test_straggler_gap_matches_observation4(self):
+        """The LeNet straggler needs ~62% more than the mean (paper);
+        accept a generous band around it."""
+        times = [epoch_time(d, "lenet", 3000) for d in DEVICE_NAMES]
+        gap = (max(times) - sum(times) / len(times)) / (
+            sum(times) / len(times)
+        )
+        assert 0.3 < gap < 1.0
+
+
+class TestSustainedThrottle:
+    def test_emergency_stage_beyond_table2_horizon(self):
+        """The sustained-load stage must not distort Table II (<=1250 s)
+        but must devastate longer runs (the Fig. 5 cliff)."""
+        # 10K VGG6 samples = an equal-share Testbed-2 allocation
+        t10k = epoch_time("nexus6p", "vgg6", 10000)
+        t6k = epoch_time("nexus6p", "vgg6", 6000)
+        assert t10k > 3 * t6k  # cliff engaged
+
+    def test_other_devices_have_no_cliff(self):
+        t10k = epoch_time("pixel2", "vgg6", 10000)
+        t5k = epoch_time("pixel2", "vgg6", 5000)
+        assert t10k == pytest.approx(2 * t5k, rel=0.1)
+
+
+class TestRegistry:
+    def test_all_devices_build(self):
+        for name in DEVICE_NAMES:
+            spec = build_spec(name)
+            assert spec.name == name
+            assert spec.peak_gflops() > 0
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            build_spec("iphone15")
+
+    def test_table1_clock_specs(self):
+        n6 = build_spec("nexus6")
+        assert not n6.is_big_little
+        assert n6.cluster("uni").freq_max_ghz == pytest.approx(2.7)
+        n6p = build_spec("nexus6p")
+        assert n6p.is_big_little
+        assert n6p.cluster("big").freq_max_ghz == pytest.approx(2.0)
+        assert n6p.cluster("little").freq_max_ghz == pytest.approx(1.55)
+        m10 = build_spec("mate10")
+        assert m10.cluster("big").freq_max_ghz == pytest.approx(2.36)
+        p2 = build_spec("pixel2")
+        assert p2.cluster("big").freq_max_ghz == pytest.approx(2.35)
+
+    def test_testbed_compositions(self):
+        assert len(TESTBEDS[1]) == 3
+        assert len(TESTBEDS[2]) == 6
+        assert len(TESTBEDS[3]) == 10
+        assert TESTBEDS[2].count("nexus6p") == 2
+        devices = make_testbed(2)
+        assert len(devices) == 6
+        with pytest.raises(KeyError):
+            make_testbed(4)
+
+    def test_calibrate_efficiency_closed_form(self):
+        h, peak = calibrate_efficiency(96.8, 6.35)
+        # reproduce the anchors from the fitted parameters
+        from repro.device.registry import ANCHOR_FLOPS
+
+        f_l, f_v = ANCHOR_FLOPS["lenet"], ANCHOR_FLOPS["vgg6"]
+        rate_l = peak * (f_l / (f_l + h)) * 1e9 / f_l
+        rate_v = peak * (f_v / (f_v + h)) * 1e9 / f_v
+        assert rate_l == pytest.approx(96.8, rel=1e-6)
+        assert rate_v == pytest.approx(6.35, rel=1e-6)
+
+    def test_calibrate_rejects_inconsistent_anchors(self):
+        with pytest.raises(ValueError):
+            calibrate_efficiency(1.0, 1000.0)
+
+
+class TestCustomDevices:
+    def _custom_spec(self, name="mydevice"):
+        from repro.device.specs import ClusterSpec, DeviceSpec
+
+        return DeviceSpec(
+            name=name,
+            soc="CustomSoC",
+            clusters=(
+                ClusterSpec(
+                    name="uni",
+                    n_cores=8,
+                    freq_min_ghz=0.5,
+                    freq_max_ghz=3.0,
+                    gflops_per_core_ghz=1.0,
+                ),
+            ),
+        )
+
+    def test_register_and_build(self):
+        from repro.device.registry import (
+            available_devices,
+            register_device,
+            unregister_device,
+        )
+
+        spec = self._custom_spec()
+        register_device(spec)
+        try:
+            assert "mydevice" in available_devices()
+            assert build_spec("mydevice").soc == "CustomSoC"
+            dev = make_device("mydevice", jitter=0.0)
+            w = TrainingWorkload(1e8, 500, 20)
+            assert dev.run_workload(w, record=False).total_time_s > 0
+        finally:
+            unregister_device("mydevice")
+        with pytest.raises(KeyError):
+            build_spec("mydevice")
+
+    def test_cannot_shadow_builtin(self):
+        from repro.device.registry import register_device
+
+        spec = self._custom_spec(name="pixel2")
+        with pytest.raises(ValueError):
+            register_device(spec)
+
+    def test_cannot_remove_builtin(self):
+        from repro.device.registry import unregister_device
+
+        with pytest.raises(ValueError):
+            unregister_device("pixel2")

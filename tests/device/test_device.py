@@ -1,0 +1,233 @@
+"""MobileDevice end-to-end simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    MobileDevice,
+    TrainingWorkload,
+    make_device,
+)
+from repro.device.governor import PerformanceGovernor
+from repro.device.specs import ClusterSpec, DeviceSpec, ThermalSpec, TripPoint
+
+
+def simple_spec(trips=()):
+    return DeviceSpec(
+        name="simple",
+        soc="x",
+        clusters=(
+            ClusterSpec(
+                name="uni",
+                n_cores=4,
+                freq_min_ghz=0.5,
+                freq_max_ghz=2.0,
+                gflops_per_core_ghz=1.0,
+            ),
+        ),
+        thermal=ThermalSpec(
+            ambient_c=25, r_thermal_c_per_w=8.0, tau_s=30.0,
+            trip_points=tuple(trips),
+        ),
+        flops_half=5e7,
+        dyn_power_coeff_w=0.05,
+    )
+
+
+def workload(n=1000, flops=1e7, batch=20):
+    return TrainingWorkload(
+        flops_per_sample=flops, n_samples=n, batch_size=batch
+    )
+
+
+class TestBasicRun:
+    def test_completes_and_advances_clock(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload())
+        assert trace.total_time_s > 0
+        assert dev.clock_s == pytest.approx(trace.total_time_s)
+
+    def test_time_scales_with_samples(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        t1 = dev.run_workload(workload(1000), record=False).total_time_s
+        dev.reset()
+        t2 = dev.run_workload(workload(2000), record=False).total_time_s
+        assert t2 > 1.8 * t1
+
+    def test_time_scales_with_flops(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        t1 = dev.run_workload(
+            workload(flops=1e7), record=False
+        ).total_time_s
+        dev.reset()
+        t2 = dev.run_workload(
+            workload(flops=1e8), record=False
+        ).total_time_s
+        # 10x FLOPs with an efficiency gain: between 2x and 10x slower.
+        assert 2 * t1 < t2 < 10 * t1
+
+    def test_epochs_multiply_work(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        w1 = workload(500)
+        t1 = dev.run_workload(w1, record=False).total_time_s
+        dev.reset()
+        w2 = TrainingWorkload(1e7, 500, batch_size=20, epochs=3)
+        t2 = dev.run_workload(w2, record=False).total_time_s
+        assert t2 == pytest.approx(3 * t1, rel=0.1)
+
+    def test_batch_times_cover_all_batches(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload(400, batch=20))
+        assert len(trace.batch_times) == 20
+        assert trace.batch_times.sum() == pytest.approx(
+            trace.total_time_s, rel=0.1
+        )
+
+    def test_trace_arrays_aligned(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload(2000))
+        n = trace.time_s.size
+        assert trace.temp_c.size == n
+        assert trace.power_w.size == n
+        for arr in trace.freq_ghz.values():
+            assert arr.size == n
+
+    def test_record_false_skips_series(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload(), record=False)
+        assert trace.time_s.size == 0
+        assert trace.total_time_s > 0
+
+    def test_jitter_repeatable_by_seed(self):
+        t1 = MobileDevice(simple_spec(), seed=5, jitter=0.05).run_workload(
+            workload(), record=False
+        ).total_time_s
+        t2 = MobileDevice(simple_spec(), seed=5, jitter=0.05).run_workload(
+            workload(), record=False
+        ).total_time_s
+        assert t1 == pytest.approx(t2)
+
+    def test_energy_accounted(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload())
+        assert trace.energy_j > 0
+        assert dev.battery.soc < 1.0
+
+
+class TestThermalEffects:
+    def throttling_spec(self):
+        return simple_spec(
+            trips=[
+                TripPoint(
+                    temp_on=35.0,
+                    temp_off=28.0,
+                    cluster="uni",
+                    freq_cap_factor=0.3,
+                )
+            ]
+        )
+
+    def test_throttling_slows_large_workloads_superlinearly(self):
+        # ~200 samples fit in the cold phase; 4x the data must cost far
+        # more than 4x the time once the trip engages.
+        dev = MobileDevice(self.throttling_spec(), jitter=0.0)
+        t1 = dev.run_workload(
+            workload(150, flops=1e9), record=False
+        ).total_time_s
+        dev.reset()
+        t2 = dev.run_workload(
+            workload(600, flops=1e9), record=False
+        ).total_time_s
+        assert t2 > 1.5 * 4 * t1
+
+    def test_temperature_rises_under_load(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload(5000, flops=1e8))
+        assert trace.peak_temp_c() > 30.0
+
+    def test_idle_cools_down(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        dev.run_workload(workload(5000, flops=1e8), record=False)
+        hot = dev.thermal.temp_c
+        dev.idle(600.0)
+        assert dev.thermal.temp_c < hot
+        # idle steady-state: ambient + R * idle_power = 29.8 C
+        assert dev.thermal.temp_c < 30.5
+
+    def test_reset_restores_cold_state(self):
+        dev = MobileDevice(self.throttling_spec(), jitter=0.0)
+        dev.run_workload(workload(5000, flops=1e9), record=False)
+        dev.reset()
+        assert dev.thermal.temp_c == 25.0
+        assert dev.battery.soc == 1.0
+        assert dev.clock_s == 0.0
+        assert not dev.thermal.is_throttling()
+
+    def test_warm_start_slower_than_cold(self):
+        dev = MobileDevice(self.throttling_spec(), jitter=0.0)
+        cold = dev.run_workload(
+            workload(2000, flops=1e9), record=False
+        ).total_time_s
+        # device is now hot; run again without reset
+        warm = dev.run_workload(
+            workload(2000, flops=1e9), record=False
+        ).total_time_s
+        assert warm > cold
+
+
+class TestTimeForWorkload:
+    def test_does_not_mutate_state(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        before = (dev.thermal.temp_c, dev.battery.soc, dev.clock_s)
+        t = dev.time_for_workload(workload())
+        after = (dev.thermal.temp_c, dev.battery.soc, dev.clock_s)
+        assert t > 0
+        assert before == after
+
+    def test_matches_actual_run(self):
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        predicted = dev.time_for_workload(workload())
+        actual = dev.run_workload(workload(), record=False).total_time_s
+        assert predicted == pytest.approx(actual, rel=1e-6)
+
+
+class TestGovernorChoice:
+    def test_performance_governor_not_slower(self):
+        t_int = MobileDevice(simple_spec(), jitter=0.0).run_workload(
+            workload(), record=False
+        ).total_time_s
+        t_perf = MobileDevice(
+            simple_spec(), governor=PerformanceGovernor(), jitter=0.0
+        ).run_workload(workload(), record=False).total_time_s
+        assert t_perf <= t_int * 1.05
+
+    def test_registry_governor_kwarg(self):
+        dev = make_device("pixel2", governor="powersave", jitter=0.0)
+        t_slow = dev.run_workload(workload(), record=False).total_time_s
+        dev2 = make_device("pixel2", governor="performance", jitter=0.0)
+        t_fast = dev2.run_workload(workload(), record=False).total_time_s
+        assert t_slow > 1.5 * t_fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobileDevice(simple_spec(), control_dt=0.0)
+        with pytest.raises(ValueError):
+            MobileDevice(simple_spec(), jitter=-0.1)
+        dev = MobileDevice(simple_spec())
+        with pytest.raises(ValueError):
+            dev.idle(-1.0)
+
+
+class TestTraceExport:
+    def test_to_csv_roundtrip(self, tmp_path):
+        import csv
+
+        dev = MobileDevice(simple_spec(), jitter=0.0)
+        trace = dev.run_workload(workload(500))
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:3] == ["time_s", "temp_c", "power_w"]
+        assert len(rows) - 1 == trace.time_s.size
+        assert float(rows[1][1]) >= 25.0

@@ -1,0 +1,71 @@
+"""Energy-aware capacity tests."""
+
+import pytest
+
+from repro.device.energy import energy_capacity_shards, energy_for_samples
+from repro.device.registry import make_device
+from repro.models import lenet
+
+
+class TestEnergyForSamples:
+    def test_monotone_in_samples(self):
+        device = make_device("pixel2", jitter=0.0)
+        model = lenet()
+        e1 = energy_for_samples(device, model, 1000)
+        e2 = energy_for_samples(device, model, 2000)
+        assert 0 < e1 < e2
+
+    def test_validation(self):
+        device = make_device("pixel2")
+        with pytest.raises(ValueError):
+            energy_for_samples(device, lenet(), 0)
+
+
+class TestEnergyCapacity:
+    def test_bigger_budget_bigger_capacity(self):
+        device = make_device("pixel2", jitter=0.0)
+        model = lenet()
+        small = energy_capacity_shards(
+            device, model, shard_size=500, budget_fraction=0.01,
+            max_shards=256,
+        )
+        large = energy_capacity_shards(
+            device, model, shard_size=500, budget_fraction=0.05,
+            max_shards=256,
+        )
+        assert 0 < small < large
+
+    def test_capacity_respects_budget(self):
+        device = make_device("nexus6", jitter=0.0)
+        model = lenet()
+        cap = energy_capacity_shards(
+            device, model, shard_size=500, budget_fraction=0.02,
+            max_shards=256,
+        )
+        budget = device.spec.battery.energy_j * 0.02
+        used = energy_for_samples(device, model, cap * 500)
+        over = energy_for_samples(device, model, (cap + 1) * 500)
+        assert used <= budget
+        assert over > budget
+
+    def test_tiny_budget_zero_capacity(self):
+        device = make_device("pixel2", jitter=0.0)
+        cap = energy_capacity_shards(
+            device, lenet(), shard_size=500, budget_fraction=1e-7
+        )
+        assert cap == 0
+
+    def test_huge_budget_hits_max(self):
+        device = make_device("pixel2", jitter=0.0)
+        cap = energy_capacity_shards(
+            device, lenet(), shard_size=100, budget_fraction=1.0,
+            max_shards=16,
+        )
+        assert cap == 16
+
+    def test_validation(self):
+        device = make_device("pixel2")
+        with pytest.raises(ValueError):
+            energy_capacity_shards(device, lenet(), 100, budget_fraction=0)
+        with pytest.raises(ValueError):
+            energy_capacity_shards(device, lenet(), 0)

@@ -1,0 +1,108 @@
+"""Governor behaviour tests."""
+
+import pytest
+
+from repro.device.governor import (
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    make_governor,
+)
+from repro.device.specs import ClusterSpec
+
+
+@pytest.fixture
+def cl():
+    return ClusterSpec(
+        name="uni",
+        n_cores=4,
+        freq_min_ghz=0.5,
+        freq_max_ghz=2.0,
+        gflops_per_core_ghz=1.0,
+        n_opp=16,
+    )
+
+
+class TestInteractive:
+    def test_ramps_to_max_under_sustained_load(self, cl):
+        gov = InteractiveGovernor()
+        f = cl.freq_min_ghz
+        for _ in range(20):
+            f = gov.select(cl, load=1.0, current_ghz=f, dt=0.5)
+        assert f == pytest.approx(cl.freq_max_ghz)
+
+    def test_jumps_to_hispeed_immediately(self, cl):
+        gov = InteractiveGovernor(hispeed_fraction=0.8)
+        f = gov.select(cl, load=1.0, current_ghz=cl.freq_min_ghz, dt=0.02)
+        assert f >= 0.5 + 0.8 * 1.5 - 0.15  # near hispeed (quantized)
+
+    def test_decays_when_idle(self, cl):
+        gov = InteractiveGovernor()
+        f = cl.freq_max_ghz
+        for _ in range(10):
+            f = gov.select(cl, load=0.05, current_ghz=f, dt=0.5)
+        assert f < cl.freq_max_ghz / 2
+
+    def test_reset_clears_state(self, cl):
+        gov = InteractiveGovernor()
+        gov.select(cl, 1.0, cl.freq_min_ghz, 0.5)
+        gov.reset()
+        assert gov._time_above == {}
+
+
+class TestOthers:
+    def test_performance_pins_max(self, cl):
+        assert PerformanceGovernor().select(cl, 0.0, 0.5, 0.5) == 2.0
+
+    def test_powersave_pins_min(self, cl):
+        assert PowersaveGovernor().select(cl, 1.0, 2.0, 0.5) == 0.5
+
+    def test_ondemand_jumps_at_threshold(self, cl):
+        gov = OndemandGovernor(up_threshold=0.8)
+        assert gov.select(cl, 0.9, 1.0, 0.5) == 2.0
+        assert gov.select(cl, 0.2, 1.0, 0.5) < 1.2
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["interactive", "performance", "powersave", "ondemand"]
+    )
+    def test_make_governor(self, name):
+        assert make_governor(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_governor("turbo")
+
+    def test_kwargs_forwarded(self):
+        gov = make_governor("ondemand", up_threshold=0.5)
+        assert gov.up_threshold == 0.5
+
+
+class TestSchedutil:
+    def test_full_load_pins_max(self, cl):
+        from repro.device.governor import SchedutilGovernor
+
+        gov = SchedutilGovernor()
+        assert gov.select(cl, 1.0, 0.5, 0.5) == cl.freq_max_ghz
+
+    def test_partial_load_scales_with_headroom(self, cl):
+        from repro.device.governor import SchedutilGovernor
+
+        gov = SchedutilGovernor(headroom=1.25)
+        f = gov.select(cl, 0.5, 1.0, 0.5)
+        # 1.25 * 0.5 * 2.0 = 1.25 GHz, quantized up
+        assert 1.2 <= f <= 1.5
+
+    def test_idle_floors_at_min(self, cl):
+        from repro.device.governor import SchedutilGovernor
+
+        gov = SchedutilGovernor()
+        assert gov.select(cl, 0.0, 2.0, 0.5) == cl.freq_min_ghz
+
+    def test_headroom_validation(self):
+        from repro.device.governor import SchedutilGovernor
+
+        with pytest.raises(ValueError):
+            SchedutilGovernor(headroom=0.9)

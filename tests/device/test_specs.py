@@ -1,0 +1,127 @@
+"""DeviceSpec / ClusterSpec / TripPoint validation and helpers."""
+
+import pytest
+
+from repro.device.specs import (
+    BatterySpec,
+    ClusterSpec,
+    DeviceSpec,
+    ThermalSpec,
+    TripPoint,
+)
+
+
+def cluster(**kw):
+    base = dict(
+        name="uni",
+        n_cores=4,
+        freq_min_ghz=0.5,
+        freq_max_ghz=2.0,
+        gflops_per_core_ghz=1.0,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+class TestClusterSpec:
+    def test_opp_table_ascending(self):
+        c = cluster(n_opp=5)
+        table = c.opp_table()
+        assert len(table) == 5
+        assert table[0] == pytest.approx(0.5)
+        assert table[-1] == pytest.approx(2.0)
+        assert all(a < b for a, b in zip(table, table[1:]))
+
+    def test_quantize_rounds_up(self):
+        c = cluster(n_opp=4)  # 0.5, 1.0, 1.5, 2.0
+        assert c.quantize(0.6) == pytest.approx(1.0)
+        assert c.quantize(2.0) == pytest.approx(2.0)
+        assert c.quantize(5.0) == pytest.approx(2.0)
+
+    def test_throughput_scales_with_freq_and_cores(self):
+        c = cluster()
+        assert c.throughput_gflops(2.0) == pytest.approx(8.0)
+        assert c.throughput_gflops(1.0) == pytest.approx(4.0)
+        assert c.throughput_gflops(2.0, online=False) == 0.0
+
+    def test_util_cap_reduces_throughput(self):
+        c = cluster(util_cap=0.5)
+        assert c.throughput_gflops(2.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster(n_cores=0)
+        with pytest.raises(ValueError):
+            cluster(freq_min_ghz=3.0)
+        with pytest.raises(ValueError):
+            cluster(util_cap=0.0)
+
+
+class TestTripPoint:
+    def test_hysteresis_required(self):
+        with pytest.raises(ValueError):
+            TripPoint(temp_on=40, temp_off=40, cluster="uni")
+
+    def test_sustained_validation(self):
+        with pytest.raises(ValueError):
+            TripPoint(temp_on=40, temp_off=30, cluster="uni", sustained_s=0)
+
+    def test_rate_factor_validation(self):
+        with pytest.raises(ValueError):
+            TripPoint(temp_on=40, temp_off=30, cluster="uni", rate_factor=0)
+
+
+class TestDeviceSpec:
+    def make_spec(self, **kw):
+        base = dict(
+            name="test",
+            soc="TestSoC",
+            clusters=(cluster(),),
+        )
+        base.update(kw)
+        return DeviceSpec(**base)
+
+    def test_peak_gflops(self):
+        spec = self.make_spec()
+        assert spec.peak_gflops() == pytest.approx(8.0)
+
+    def test_efficiency_monotone_in_intensity(self):
+        spec = self.make_spec(flops_half=1e8)
+        assert spec.efficiency(1e9) > spec.efficiency(1e7)
+        assert 0 < spec.efficiency(1e7) < 1
+
+    def test_cluster_efficiency_override(self):
+        c = cluster(flops_half=1e9)
+        spec = self.make_spec(clusters=(c,), flops_half=1e7)
+        assert spec.cluster_efficiency(c, 1e8) == pytest.approx(
+            1e8 / (1e8 + 1e9)
+        )
+
+    def test_power_utilisation_bounds(self):
+        spec = self.make_spec(util_floor=0.3)
+        u = spec.power_utilisation(1e7)
+        assert 0.3 < u < 1.0
+
+    def test_effective_gflops_with_offline_cluster(self):
+        big = cluster(name="big")
+        little = cluster(name="little", freq_max_ghz=1.0)
+        spec = self.make_spec(clusters=(big, little))
+        full = spec.effective_gflops(1e9)
+        partial = spec.effective_gflops(
+            1e9, {"big": 0.0, "little": 1.0}
+        )
+        assert partial < full
+
+    def test_duplicate_cluster_names_raise(self):
+        with pytest.raises(ValueError):
+            self.make_spec(clusters=(cluster(), cluster()))
+
+    def test_cluster_lookup(self):
+        spec = self.make_spec()
+        assert spec.cluster("uni").name == "uni"
+        with pytest.raises(KeyError):
+            spec.cluster("big")
+
+    def test_battery_energy(self):
+        b = BatterySpec(capacity_mah=1000, voltage_v=4.0)
+        assert b.energy_j == pytest.approx(1000 * 3.6 * 4.0)

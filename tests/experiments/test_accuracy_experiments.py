@@ -1,0 +1,196 @@
+"""Shape tests for the accuracy experiments (Fig. 2, Fig. 3, Fig. 6,
+Tables III/V) at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2, fig3, fig6, table3, table4, table5
+from repro.experiments.flruns import (
+    FLRunConfig,
+    accuracy_of_schedule,
+    scale_counts,
+)
+
+FAST_FL = FLRunConfig(rounds=5)
+
+
+class TestScaleCounts:
+    def test_preserves_total_and_shape(self):
+        counts = [100, 50, 0, 25]
+        scaled = scale_counts(counts, 20)
+        assert scaled.sum() == 20
+        assert scaled[2] == 0
+        assert scaled[0] > scaled[1] > scaled[3]
+
+    def test_small_participants_keep_one_shard(self):
+        scaled = scale_counts([1000, 1], 10)
+        assert scaled[1] >= 1
+        assert scaled.sum() == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_counts([0, 0], 10)
+        with pytest.raises(ValueError):
+            scale_counts([1, 1], 0)
+
+
+class TestFig2:
+    def test_imbalance_is_accuracy_neutral(self):
+        cfg = fig2.Fig2Config(
+            datasets=("mnist_mini",),
+            ratios=(0.0, 0.8),
+            n_users=8,
+            fl=FAST_FL,
+        )
+        r = fig2.run(cfg)
+        fed = [
+            row["accuracy"] for row in r.rows if row["setting"] == "federated"
+        ]
+        # flat within a few points
+        assert abs(fed[0] - fed[1]) < 0.08
+        central = [
+            row["accuracy"]
+            for row in r.rows
+            if row["setting"] == "centralized"
+        ][0]
+        assert min(fed) > central - 0.1
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(
+            fig3.Fig3Config(
+                dataset="mnist_mini",
+                nclass_values=(2, 8),
+                repeats=2,
+                fl=FAST_FL,
+            )
+        )
+
+    def test_more_classes_better(self, result):
+        by = {row["setting"]: row["accuracy"] for row in result.rows}
+        assert by["8-class"] > by["2-class"] + 0.05
+
+    def test_missing_is_worst(self, result):
+        by = {row["setting"]: row["accuracy"] for row in result.rows}
+        assert by["missing"] < by["separate"]
+        assert by["missing"] < by["merge"]
+
+
+class TestTable3:
+    def test_lbap_accuracy_neutral_under_iid(self):
+        cfg = table3.Table3Config(
+            datasets=("mnist",),
+            models=("lenet",),
+            testbeds=(1, 2),
+            fl=FLRunConfig(rounds=6),
+        )
+        r = table3.run(cfg)
+        for row in r.rows:
+            assert row["lbap_loss_vs_best"] < 0.05
+
+    def test_surrogate_fl_mapping(self):
+        fl = table3.surrogate_fl("vgg6", FLRunConfig(rounds=3))
+        assert fl.model == "mlp"
+        assert fl.lr == 0.02
+        fl = table3.surrogate_fl("unknown", FLRunConfig(rounds=3))
+        assert fl.model == "logistic"
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run(table4.Table4Config(shard_size=250))
+
+    def test_allocations_sum_to_dataset(self, result):
+        for scen in ("S1", "S2", "S3"):
+            rows = [r for r in result.rows if r["scenario"] == scen]
+            for col in ("p1", "p2", "p3", "p4"):
+                total = sum(r[col] for r in rows)
+                assert total == pytest.approx(50.0, rel=0.01)  # 50K samples
+
+    def test_high_alpha_zeroes_skewed_devices(self, result):
+        s2 = {r["device"]: r for r in result.rows if r["scenario"] == "S2"}
+        one_class = s2["nexus6p(3)"]  # classes (0,)
+        assert one_class["p2"] == 0.0
+        assert one_class["p4"] == 0.0
+
+    def test_beta_includes_unique_class_outlier(self, result):
+        s1 = {r["device"]: r for r in result.rows if r["scenario"] == "S1"}
+        pixel2 = s1["pixel2(2)"]
+        # beta=2 at alpha=100 (p3) allocates where beta=0 (p1..p2) may not
+        assert pixel2["p3"] > 0.0
+        assert pixel2["p3"] >= pixel2["p2"]
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(
+            fig6.Fig6Config(
+                scenarios=("S1",),
+                alphas=(100.0, 5000.0),
+                betas=(0.0, 2.0),
+                fl=FAST_FL,
+            )
+        )
+
+    def test_time_rises_with_alpha_at_beta0(self, result):
+        rows = [r for r in result.rows if r["beta"] == 0.0]
+        by_alpha = {r["alpha"]: r["makespan_s"] for r in rows}
+        assert by_alpha[5000.0] >= by_alpha[100.0]
+
+    def test_beta_improves_coverage_at_low_alpha(self, result):
+        rows = {
+            (r["alpha"], r["beta"]): r["coverage"] for r in result.rows
+        }
+        assert rows[(100.0, 2.0)] >= rows[(100.0, 0.0)]
+        assert rows[(100.0, 2.0)] == pytest.approx(1.0)
+
+    def test_beta_lifts_accuracy_at_low_alpha(self, result):
+        rows = {
+            (r["alpha"], r["beta"]): r["accuracy"] for r in result.rows
+        }
+        assert rows[(100.0, 2.0)] > rows[(100.0, 0.0)] - 0.02
+
+
+class TestTable5:
+    def test_minavg_near_best_baseline(self):
+        cfg = table5.Table5Config(
+            datasets=("mnist",),
+            models=("lenet",),
+            testbeds=(2,),
+            alphas=(100.0, 1000.0),
+            fl=FLRunConfig(rounds=6),
+        )
+        r = table5.run(cfg)
+        assert r.rows[0]["minavg_loss_vs_best"] < 0.08
+
+
+class TestAccuracyOfSchedule:
+    def test_zero_coverage_hurts(self):
+        classes = [(0, 1, 2, 3, 4), (5, 6, 7, 8, 9)]
+        full = accuracy_of_schedule(
+            "mnist_mini", [10, 10], classes, FAST_FL
+        )
+        half = accuracy_of_schedule(
+            "mnist_mini", [20, 0], classes, FAST_FL
+        )
+        assert full > half + 0.2
+
+
+class TestFig6TimeOnly:
+    def test_with_accuracy_false_skips_training(self):
+        cfg = fig6.Fig6Config(
+            scenarios=("S2",),
+            alphas=(100.0,),
+            betas=(0.0,),
+            with_accuracy=False,
+        )
+        r = fig6.run(cfg)
+        assert len(r.rows) == 1
+        import math
+
+        assert math.isnan(r.rows[0]["accuracy"])
+        assert r.rows[0]["makespan_s"] > 0

@@ -1,0 +1,47 @@
+"""ASCII plotting tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import line_plot, multi_series
+
+
+class TestLinePlot:
+    def test_contains_extremes(self):
+        out = line_plot(np.linspace(0, 10, 100), title="ramp")
+        assert "ramp" in out
+        assert "10.00" in out
+        assert "0.00" in out
+
+    def test_width_resampling(self):
+        out = line_plot(np.sin(np.linspace(0, 6, 500)), width=40, height=8)
+        body_lines = [l for l in out.splitlines() if "|" in l]
+        assert all(len(l.split("|")[1]) == 40 for l in body_lines)
+
+    def test_constant_series(self):
+        out = line_plot(np.full(10, 3.0))
+        assert "3.00" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in line_plot([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], width=4)
+
+
+class TestMultiSeries:
+    def test_legend_contains_names(self):
+        out = multi_series(
+            {"temp": np.arange(10.0), "freq": np.ones(10)}
+        )
+        assert "temp" in out and "freq" in out
+
+    def test_shared_range(self):
+        out = multi_series(
+            {"a": np.array([0.0, 1.0]), "b": np.array([9.0, 10.0])}
+        )
+        assert "10.00" in out and "0.00" in out
+
+    def test_empty(self):
+        assert "(no data)" in multi_series({})

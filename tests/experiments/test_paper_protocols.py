@@ -1,0 +1,52 @@
+"""The paper-scale protocol constructors must build valid configs.
+
+Running them takes hours; constructing and sanity-checking them is
+cheap and keeps the full protocol documented in code.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    table3,
+    table4,
+    table5,
+)
+
+
+class TestPaperProtocols:
+    def test_fig2_protocol(self):
+        cfg = fig2.Fig2Config.paper()
+        assert cfg.n_users == 20  # "partition the datasets among 20 users"
+        assert cfg.repeats == 10  # "averaged over 10 experimental runs"
+        assert set(cfg.datasets) == {"mnist", "cifar10"}
+
+    def test_fig3_protocol(self):
+        cfg = fig3.Fig3Config.paper()
+        assert cfg.nclass_values == (2, 3, 4, 5, 6, 7, 8)  # "n from 2-8"
+        assert cfg.dataset == "cifar10"
+        assert cfg.fl.rounds == 50  # "50 epoches for CIFAR10"
+
+    def test_fig5_protocol(self):
+        cfg = fig5.Fig5Config.paper()
+        assert cfg.shard_size == 100  # "e.g. 100 samples/shard"
+        assert cfg.random_repeats == 10
+
+    def test_fig6_protocol(self):
+        cfg = fig6.Fig6Config.paper()
+        assert min(cfg.alphas) == 100.0 and max(cfg.alphas) == 5000.0
+        assert cfg.betas == (0.0, 2.0)  # "set beta = 2"
+
+    def test_fig7_protocol(self):
+        cfg = fig7.Fig7Config.paper()
+        assert cfg.permutations == 10
+        assert cfg.shard_size == 100
+
+    def test_table_protocols(self):
+        assert table3.Table3Config.paper().repeats == 10
+        assert table4.Table4Config.paper().shard_size == 100
+        assert table5.Table5Config.paper().repeats == 10

@@ -1,0 +1,55 @@
+"""ExperimentResult / table formatting tests."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(
+            ["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.125}]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_missing_cells_blank(self):
+        out = format_table(["a", "b"], [{"a": 1}])
+        assert out.splitlines()[2].strip().startswith("1")
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult(
+            name="t", description="d", columns=["x", "y"]
+        )
+        r.add_row(x=1, y=2.0)
+        r.add_row(x=3, y=4.0)
+        return r
+
+    def test_column_extraction(self):
+        r = self.make()
+        assert r.column("x") == [1, 3]
+        with pytest.raises(KeyError):
+            r.column("z")
+
+    def test_to_table_includes_notes(self):
+        r = self.make()
+        r.add_note("a note")
+        text = r.to_table()
+        assert "== t: d" in text
+        assert "note: a note" in text
+
+
+class TestFormatting:
+    def test_large_and_small_floats(self):
+        from repro.experiments.runner import _fmt
+
+        assert _fmt(12345.6) == "12346"
+        assert _fmt(12.345) == "12.35"
+        assert _fmt(0.12345) == "0.1235"
+        assert _fmt(0) == "0"
+        assert _fmt(0.0) == "0"
+        assert _fmt("text") == "text"

@@ -1,0 +1,48 @@
+"""Scenario-table tests (Table IV class distributions)."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    scenario_classes,
+    scenario_testbed,
+)
+from repro.experiments.testbeds import testbed_names as get_testbed_names
+
+
+class TestScenarios:
+    def test_sizes_match_testbeds(self):
+        for name in SCENARIOS:
+            classes = scenario_classes(name)
+            assert len(classes) == len(
+                get_testbed_names(scenario_testbed(name))
+            )
+
+    def test_s1_unique_class_seven(self):
+        """In S(I) class 7 belongs only to Pixel2 — the paper's
+        canonical unique-class outlier."""
+        classes = scenario_classes("S1")
+        holders = [i for i, cs in enumerate(classes) if 7 in cs]
+        assert holders == [2]
+
+    def test_s2_unique_class_four(self):
+        classes = scenario_classes("S2")
+        holders = [i for i, cs in enumerate(classes) if 4 in cs]
+        assert holders == [4]  # Mate10(a)
+
+    def test_s3_full_coverage(self):
+        classes = scenario_classes("S3")
+        covered = set(c for cs in classes for c in cs)
+        assert covered == set(range(10))
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            scenario_classes("S4")
+        with pytest.raises(KeyError):
+            scenario_testbed("S4")
+
+    def test_class_ids_valid(self):
+        for name in SCENARIOS:
+            for cs in scenario_classes(name):
+                assert cs, "every user holds at least one class"
+                assert all(0 <= c < 10 for c in cs)

@@ -1,0 +1,87 @@
+"""Straggler-dropout policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import iid_partition
+from repro.device.registry import make_device
+from repro.federated.dropout import DropoutPolicy, apply_deadline
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+
+
+class TestApplyDeadline:
+    def test_slow_user_dropped(self):
+        times = [10.0, 11.0, 50.0]
+        survivors, dropped, round_time = apply_deadline(
+            times, [0, 1, 2], DropoutPolicy(deadline_factor=1.5)
+        )
+        assert survivors == [0, 1]
+        assert dropped == [2]
+        # server stops waiting at the deadline (1.5 * median 11)
+        assert round_time == pytest.approx(16.5)
+
+    def test_nobody_dropped_when_homogeneous(self):
+        times = [10.0, 10.5, 11.0]
+        survivors, dropped, round_time = apply_deadline(
+            times, [0, 1, 2], DropoutPolicy(deadline_factor=1.5)
+        )
+        assert dropped == []
+        assert round_time == pytest.approx(11.0)
+
+    def test_min_participants_floor(self):
+        times = [1.0, 100.0, 200.0]
+        survivors, dropped, _ = apply_deadline(
+            times,
+            [0, 1, 2],
+            DropoutPolicy(deadline_factor=0.1, min_participants=2),
+        )
+        assert len(survivors) == 2
+        assert survivors == [0, 1]  # fastest re-admitted
+
+    def test_inactive_users_ignored(self):
+        times = [5.0, 999.0, 6.0]
+        survivors, dropped, _ = apply_deadline(
+            times, [0, 2], DropoutPolicy(deadline_factor=2.0)
+        )
+        assert survivors == [0, 2]
+        assert dropped == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DropoutPolicy(deadline_factor=0.0)
+        with pytest.raises(ValueError):
+            DropoutPolicy(min_participants=0)
+        with pytest.raises(ValueError):
+            apply_deadline([1.0], [], DropoutPolicy())
+
+
+class TestDropoutInSimulation:
+    def test_straggler_excluded_from_aggregation(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        users = iid_partition(tiny_dataset, 4, rng)
+        # three fast devices + one catastrophic straggler
+        devices = [make_device("pixel2", jitter=0.0) for _ in range(3)]
+        devices.append(make_device("nexus6p", jitter=0.0))
+        model = logistic(input_shape=tiny_dataset.input_shape, seed=1)
+        sim = FederatedSimulation(
+            tiny_dataset,
+            model,
+            users,
+            devices=devices,
+            config=SimulationConfig(lr=0.05, eval_every=1),
+            dropout=DropoutPolicy(deadline_factor=1.3),
+        )
+        record = sim.run_round()
+        assert record.participant_count == 3  # straggler dropped
+        # round ends at the deadline, earlier than the straggler's time
+        assert record.makespan_s < record.per_user_time_s.max()
+
+    def test_dropout_requires_devices(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        users = iid_partition(tiny_dataset, 2, rng)
+        model = logistic(input_shape=tiny_dataset.input_shape)
+        with pytest.raises(ValueError):
+            FederatedSimulation(
+                tiny_dataset, model, users, dropout=DropoutPolicy()
+            )

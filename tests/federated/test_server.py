@@ -1,0 +1,64 @@
+"""FedAvg aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.federated.server import ParameterServer, fedavg_aggregate
+from repro.models import logistic
+
+
+class TestFedavgAggregate:
+    def test_weighted_mean(self):
+        w = fedavg_aggregate(
+            [np.array([0.0, 0.0]), np.array([1.0, 2.0])], [1, 3]
+        )
+        np.testing.assert_allclose(w, [0.75, 1.5])
+
+    def test_equal_weights_is_mean(self):
+        vs = [np.array([1.0]), np.array([3.0]), np.array([5.0])]
+        np.testing.assert_allclose(fedavg_aggregate(vs, [2, 2, 2]), [3.0])
+
+    def test_zero_count_clients_ignored(self):
+        w = fedavg_aggregate(
+            [np.array([100.0]), np.array([1.0])], [0, 5]
+        )
+        np.testing.assert_allclose(w, [1.0])
+
+    def test_all_zero_counts_raise(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([np.array([1.0])], [0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([np.zeros(2), np.zeros(3)], [1, 1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([np.zeros(2)], [1, 2])
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([np.zeros(2)], [-1])
+
+    def test_idempotent_on_identical_clients(self, rng):
+        v = rng.normal(size=10)
+        out = fedavg_aggregate([v.copy(), v.copy()], [3, 7])
+        np.testing.assert_allclose(out, v)
+
+
+class TestParameterServer:
+    def test_aggregate_installs_weights(self):
+        model = logistic(input_shape=(1, 4, 4))
+        server = ParameterServer(model)
+        target = np.ones(model.param_count())
+        server.aggregate([target], [10])
+        np.testing.assert_allclose(server.global_weights(), target)
+        assert server.round_idx == 1
+
+    def test_round_counter_increments(self):
+        model = logistic(input_shape=(1, 4, 4))
+        server = ParameterServer(model)
+        w = model.get_weights()
+        for i in range(3):
+            server.aggregate([w], [1])
+        assert server.round_idx == 3

@@ -1,0 +1,161 @@
+"""BatchNorm2D and weight-checkpoint tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import BatchNorm2D, Conv2D, Flatten, ReLU
+from repro.models.layers import Dense
+from repro.models.network import Sequential
+from repro.models.optim import SGD
+from repro.models.zoo import lenet_mini
+from tests.models.test_layers import check_input_gradient
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm2D(4)
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(
+            out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            out.std(axis=(0, 2, 3)), 1.0, atol=1e-3
+        )
+
+    def test_gamma_beta_applied(self, rng):
+        layer = BatchNorm2D(2)
+        layer.params["gamma"][:] = [2.0, 3.0]
+        layer.params["beta"][:] = [1.0, -1.0]
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(
+            out.mean(axis=(0, 2, 3)), [1.0, -1.0], atol=1e-10
+        )
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm2D(3, momentum=0.5)
+        for _ in range(40):
+            layer.forward(
+                rng.normal(5.0, 1.0, size=(16, 3, 4, 4)), training=True
+            )
+        np.testing.assert_allclose(layer.running_mean, 5.0, atol=0.3)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm2D(2)
+        for _ in range(20):
+            layer.forward(
+                rng.normal(2.0, 1.0, size=(16, 2, 4, 4)), training=True
+            )
+        x = rng.normal(2.0, 1.0, size=(4, 2, 4, 4))
+        out = layer.forward(x, training=False)
+        # roughly standardised by the learned running stats
+        assert abs(out.mean()) < 0.3
+
+    def test_input_gradient(self, rng):
+        """Finite-difference check in *training* mode (inference mode
+        normalises with running stats, a different function)."""
+        layer = BatchNorm2D(2)
+        layer.params["gamma"][:] = rng.uniform(0.5, 1.5, 2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        layer.forward(x, training=True)
+        w = rng.normal(size=(4, 2, 3, 3))
+        analytic = layer.backward(w)
+
+        def loss():
+            return float((layer.forward(x, training=True) * w).sum())
+
+        eps = 1e-6
+        flat = x.ravel()
+        idx = rng.choice(flat.size, 30, replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            fp = loss()
+            flat[i] = orig - eps
+            fm = loss()
+            flat[i] = orig
+            num = (fp - fm) / (2 * eps)
+            assert abs(num - analytic.ravel()[i]) < 1e-5
+
+    def test_param_gradients(self, rng):
+        layer = BatchNorm2D(2)
+        layer.params["gamma"][:] = rng.uniform(0.5, 1.5, 2)
+        layer.params["beta"][:] = rng.normal(0, 0.2, 2)
+        x = rng.normal(size=(3, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 4, 4))
+        layer.forward(x, training=True)
+        layer.backward(w)
+        eps = 1e-6
+        for name in ("gamma", "beta"):
+            analytic = layer.grads[name].copy()
+            p = layer.params[name]
+            for j in range(2):
+                orig = p[j]
+                p[j] = orig + eps
+                fp = float((layer.forward(x, training=True) * w).sum())
+                p[j] = orig - eps
+                fm = float((layer.forward(x, training=True) * w).sum())
+                p[j] = orig
+                assert abs((fp - fm) / (2 * eps) - analytic[j]) < 1e-6
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            BatchNorm2D(2).backward(rng.normal(size=(1, 2, 2, 2)))
+
+    def test_shape_validation(self, rng):
+        layer = BatchNorm2D(3)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(2, 4, 5, 5)))
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+
+    def test_trains_inside_a_conv_net(self, tiny_dataset, rng):
+        net = Sequential(
+            [
+                Conv2D(1, 6, 3, rng=rng),
+                BatchNorm2D(6),
+                ReLU(),
+                Flatten(),
+                Dense(6 * 6 * 6, 10, rng=rng),
+            ],
+            name="bn_net",
+            input_shape=(1, 8, 8),
+        )
+        opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+        x = tiny_dataset.x_train[:100]
+        y = tiny_dataset.y_train[:100]
+        first = None
+        for _ in range(25):
+            loss, _ = net.train_batch(x, y)
+            opt.step()
+            opt.zero_grad()
+            if first is None:
+                first = loss
+        assert loss < first * 0.6
+
+    def test_params_counted_as_other(self):
+        layer = BatchNorm2D(8)
+        assert layer.kind == "other"
+        assert layer.param_count() == 16
+
+
+class TestWeightCheckpoints:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        net = lenet_mini(seed=4)
+        w = rng.normal(size=net.param_count())
+        net.set_weights(w)
+        path = tmp_path / "ckpt.npz"
+        net.save_weights(path)
+        other = lenet_mini(seed=99)
+        other.load_weights(path)
+        np.testing.assert_allclose(other.get_weights(), w)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        net = lenet_mini(seed=4)
+        path = tmp_path / "ckpt.npz"
+        net.save_weights(path)
+        from repro.models.zoo import logistic
+
+        with pytest.raises(ValueError):
+            logistic(input_shape=(1, 12, 12)).load_weights(path)

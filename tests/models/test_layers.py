@@ -1,0 +1,255 @@
+"""Layer-level tests: shapes, caching discipline, and numerical
+gradient checks against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+    col2im,
+    im2col,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    g = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        g[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, atol=1e-6):
+    """Backward's input gradient must match finite differences of a
+    scalar loss sum(out * w) for random w."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=True)
+    w = rng.normal(size=out.shape)
+    layer_grad = layer.backward(w)
+
+    def loss():
+        return float((layer.forward(x, training=False) * w).sum())
+
+    num = numerical_grad(loss, x)
+    np.testing.assert_allclose(layer_grad, num, atol=atol, rtol=1e-4)
+
+
+def check_param_gradient(layer, x, atol=1e-6):
+    """Parameter gradients must match finite differences."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=True)
+    w = rng.normal(size=out.shape)
+    layer.backward(w)
+    for name, p in layer.params.items():
+        def loss():
+            return float((layer.forward(x, training=False) * w).sum())
+
+        num = numerical_grad(loss, p)
+        np.testing.assert_allclose(
+            layer.grads[name], num, atol=atol, rtol=1e-4,
+            err_msg=f"param {name}",
+        )
+
+
+class TestIm2col:
+    def test_roundtrip_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, (1, 1), (0, 0))
+        assert cols.shape == (2 * 4 * 4, 3 * 9)
+        assert (oh, ow) == (4, 4)
+
+    def test_identity_kernel(self, rng):
+        """A 1x1 kernel at stride 1 reproduces the input pixels."""
+        x = rng.normal(size=(1, 2, 4, 4))
+        cols, oh, ow = im2col(x, 1, 1, (1, 1), (0, 0))
+        assert (oh, ow) == (4, 4)
+        np.testing.assert_allclose(
+            cols.reshape(4, 4, 2).transpose(2, 0, 1), x[0]
+        )
+
+    def test_padding_expands_output(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        _, oh, ow = im2col(x, 3, 3, (1, 1), (1, 1))
+        assert (oh, ow) == (4, 4)
+
+    def test_col2im_adjoint(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.normal(size=(2, 2, 5, 5))
+        cols, oh, ow = im2col(x, 3, 3, (2, 2), (1, 1))
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        back = col2im(c, x.shape, 3, 3, (2, 2), (1, 1))
+        rhs = float((x * back).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_kernel_too_large_raises(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        with pytest.raises(ValueError):
+            im2col(x, 5, 5, (1, 1), (0, 0))
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 6)))
+        assert out.shape == (3, 4)
+
+    def test_gradients(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x)
+
+    def test_rejects_bad_shapes(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 6)))
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 5, 1)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(4, 3)))
+
+    def test_param_count(self):
+        assert Dense(5, 3).param_count() == 5 * 3 + 3
+
+    def test_kind_is_dense(self):
+        assert Dense(2, 2).kind == "dense"
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(3, 8, 3, stride=1, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 6, 6)))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_forward_matches_naive(self, rng):
+        """GEMM convolution equals a direct nested-loop convolution."""
+        layer = Conv2D(2, 3, 3, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = layer.forward(x)
+        w, b = layer.params["W"], layer.params["b"]
+        naive = np.zeros((1, 3, 3, 3))
+        for o in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i : i + 3, j : j + 3]
+                    naive[0, o, i, j] = (patch * w[o]).sum() + b[o]
+        np.testing.assert_allclose(out, naive, atol=1e-12)
+
+    def test_gradients(self, rng):
+        layer = Conv2D(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_input_gradient(layer, x, atol=1e-5)
+        check_param_gradient(layer, x, atol=1e-5)
+
+    def test_gradients_strided(self, rng):
+        layer = Conv2D(1, 2, 3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 1, 7, 7))
+        check_input_gradient(layer, x, atol=1e-5)
+        check_param_gradient(layer, x, atol=1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 5, 5)))
+
+    def test_kind_is_conv(self):
+        assert Conv2D(1, 1, 1).kind == "conv"
+
+    def test_output_shape_helper(self):
+        layer = Conv2D(3, 8, 5, stride=1, padding=0)
+        assert layer.output_shape((3, 28, 28)) == (8, 24, 24)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(
+            out[0, 0], np.array([[5.0, 7.0], [13.0, 15.0]])
+        )
+
+    def test_maxpool_gradient_routes_to_max(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer = MaxPool2D(2)
+        layer.forward(x, training=True)
+        g = layer.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(g[0, 0], expected)
+
+    def test_maxpool_gradcheck(self, rng):
+        # Use well-separated values so the max is stable under eps.
+        x = rng.permutation(64).astype(float).reshape(1, 1, 8, 8)
+        check_input_gradient(MaxPool2D(2), x)
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(
+            out[0, 0], np.array([[2.5, 4.5], [10.5, 12.5]])
+        )
+
+    def test_avgpool_gradcheck(self, rng):
+        x = rng.normal(size=(2, 2, 6, 6))
+        check_input_gradient(AvgPool2D(2), x)
+
+
+class TestActivations:
+    def test_relu_gradcheck(self, rng):
+        x = rng.normal(size=(3, 7)) + 0.05  # keep away from the kink
+        x[np.abs(x) < 1e-3] = 0.5
+        check_input_gradient(ReLU(), x)
+
+    def test_tanh_gradcheck(self, rng):
+        check_input_gradient(Tanh(), rng.normal(size=(3, 7)))
+
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        layer = Flatten()
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)
+
+    def test_dropout_inference_is_identity(self, rng):
+        x = rng.normal(size=(4, 10))
+        out = Dropout(0.5).forward(x, training=False)
+        np.testing.assert_allclose(out, x)
+
+    def test_dropout_training_masks_and_scales(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        kept = out != 0
+        # Inverted dropout scales survivors by 1/keep.
+        np.testing.assert_allclose(out[kept], 2.0)
+        assert 0.4 < kept.mean() < 0.6
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

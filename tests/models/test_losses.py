@@ -1,0 +1,73 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.losses import accuracy, softmax, softmax_cross_entropy
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(6, 10)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_shift_invariance(self, rng):
+        z = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_large_logits_stable(self):
+        p = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] > 0.999
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((3, 10))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 5, 9]))
+        np.testing.assert_allclose(loss, np.log(10), rtol=1e-9)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(6):
+                zp = logits.copy()
+                zp[i, j] += eps
+                lp, _ = softmax_cross_entropy(zp, labels)
+                zm = logits.copy()
+                zm[i, j] -= eps
+                lm, _ = softmax_cross_entropy(zm, labels)
+                assert abs((lp - lm) / (2 * eps) - grad[i, j]) < 1e-6
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(5, 7))
+        labels = rng.integers(0, 7, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(rng.normal(size=(4,)), np.zeros(4, int))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(
+                rng.normal(size=(4, 3)), np.zeros(5, int)
+            )
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        logits = np.eye(4) * 10
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_half_correct(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5

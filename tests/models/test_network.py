@@ -1,0 +1,149 @@
+"""Sequential container tests: parameter accounting, weight vector
+round-trips, cloning, end-to-end training."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    SGD,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    lenet_mini,
+    softmax_cross_entropy,
+)
+from repro.models.network import ParameterSplit
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Flatten(), Dense(16, 8, rng=rng), ReLU(), Dense(8, 4, rng=rng)],
+        name="small",
+        input_shape=(1, 4, 4),
+    )
+
+
+class TestParameterSplit:
+    def test_totals(self):
+        s = ParameterSplit(conv=10, dense=20, other=5)
+        assert s.total == 35
+        assert s.as_tuple() == (10, 20)
+
+    def test_equality(self):
+        assert ParameterSplit(1, 2) == ParameterSplit(1, 2)
+        assert ParameterSplit(1, 2) != ParameterSplit(1, 3)
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        net = small_net()
+        out = net.forward(rng.normal(size=(5, 1, 4, 4)))
+        assert out.shape == (5, 4)
+
+    def test_param_split_counts_dense(self):
+        net = small_net()
+        split = net.param_split()
+        assert split.conv == 0
+        assert split.dense == (16 * 8 + 8) + (8 * 4 + 4)
+
+    def test_weight_vector_roundtrip(self, rng):
+        net = small_net()
+        w = net.get_weights()
+        assert w.shape == (net.param_count(),)
+        w2 = rng.normal(size=w.shape)
+        net.set_weights(w2)
+        np.testing.assert_allclose(net.get_weights(), w2)
+
+    def test_set_weights_rejects_wrong_size(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.set_weights(np.zeros(3))
+
+    def test_clone_is_independent(self, rng):
+        net = small_net()
+        clone = net.clone()
+        clone.set_weights(np.zeros(clone.param_count()))
+        assert not np.allclose(net.get_weights(), 0.0)
+
+    def test_weights_affect_output(self, rng):
+        """set_weights actually changes behaviour (order consistency)."""
+        net = small_net()
+        x = rng.normal(size=(2, 1, 4, 4))
+        before = net.forward(x)
+        net.set_weights(net.get_weights() * 2.0)
+        after = net.forward(x)
+        assert not np.allclose(before, after)
+
+    def test_training_reduces_loss(self, rng):
+        net = small_net()
+        x = rng.normal(size=(16, 1, 4, 4))
+        y = rng.integers(0, 4, size=16)
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.9)
+        first = None
+        for step in range(30):
+            loss, _ = net.train_batch(x, y)
+            opt.step()
+            opt.zero_grad()
+            if first is None:
+                first = loss
+        assert loss < first * 0.5
+
+    def test_summary_mentions_layers(self):
+        net = small_net()
+        text = net.summary()
+        assert "Dense" in text and "total=" in text
+
+    def test_size_bytes(self):
+        net = small_net()
+        assert net.size_bytes(4) == net.param_count() * 4
+
+    def test_end_to_end_gradcheck(self, rng):
+        """Full-network gradient vs finite differences through the loss."""
+        net = small_net()
+        x = rng.normal(size=(3, 1, 4, 4))
+        y = np.array([0, 1, 2])
+        logits = net.forward(x, training=True)
+        _, grad = softmax_cross_entropy(logits, y)
+        net.backward(grad)
+        w0 = net.get_weights()
+        analytic = np.concatenate(
+            [
+                layer.grads[name].ravel()
+                for layer in net.layers
+                if layer.params
+                for name in sorted(layer.params)
+            ]
+        )
+        eps = 1e-6
+        idxs = rng.choice(w0.size, size=25, replace=False)
+        for i in idxs:
+            w = w0.copy()
+            w[i] += eps
+            net.set_weights(w)
+            lp, _ = softmax_cross_entropy(net.forward(x), y)
+            w[i] -= 2 * eps
+            net.set_weights(w)
+            lm, _ = softmax_cross_entropy(net.forward(x), y)
+            num = (lp - lm) / (2 * eps)
+            assert abs(num - analytic[i]) < 1e-5
+        net.set_weights(w0)
+
+
+class TestLeNetMiniTraining:
+    def test_conv_net_learns_tiny_task(self, tiny_dataset):
+        net = lenet_mini(input_shape=(1, 8, 8), seed=3)
+        opt = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        x, y = tiny_dataset.x_train[:200], tiny_dataset.y_train[:200]
+        rng = np.random.default_rng(0)
+        for epoch in range(12):
+            order = rng.permutation(len(x))
+            for s in range(0, len(x), 20):
+                idx = order[s : s + 20]
+                net.train_batch(x[idx], y[idx])
+                opt.step()
+                opt.zero_grad()
+        logits = net.forward(tiny_dataset.x_test)
+        acc = (logits.argmax(1) == tiny_dataset.y_test).mean()
+        assert acc > 0.4  # well above 10% chance

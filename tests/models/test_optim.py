@@ -1,0 +1,62 @@
+"""Optimiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.optim import SGD
+
+
+def make_param(value, grad):
+    params = {"W": np.array(value, dtype=float)}
+    grads = {"W": np.array(grad, dtype=float)}
+    return params, grads
+
+
+class TestSGD:
+    def test_plain_step(self):
+        params, grads = make_param([1.0, 2.0], [0.5, -0.5])
+        opt = SGD([(params, grads)], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(params["W"], [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        params, grads = make_param([0.0], [1.0])
+        opt = SGD([(params, grads)], lr=0.1, momentum=0.9)
+        opt.step()  # v = -0.1
+        np.testing.assert_allclose(params["W"], [-0.1])
+        opt.step()  # v = -0.9*0.1 - 0.1 = -0.19
+        np.testing.assert_allclose(params["W"], [-0.29])
+
+    def test_weight_decay_applies_to_w_only(self):
+        pw = {"W": np.array([1.0]), "b": np.array([1.0])}
+        gw = {"W": np.array([0.0]), "b": np.array([0.0])}
+        opt = SGD([(pw, gw)], lr=0.1, weight_decay=0.1)
+        opt.step()
+        np.testing.assert_allclose(pw["W"], [0.99])
+        np.testing.assert_allclose(pw["b"], [1.0])
+
+    def test_zero_grad(self):
+        params, grads = make_param([1.0], [5.0])
+        opt = SGD([(params, grads)], lr=0.1)
+        opt.zero_grad()
+        np.testing.assert_allclose(grads["W"], [0.0])
+
+    def test_validation(self):
+        params, grads = make_param([1.0], [0.0])
+        with pytest.raises(ValueError):
+            SGD([(params, grads)], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([(params, grads)], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([(params, grads)], lr=0.1, weight_decay=-0.1)
+
+    def test_converges_on_quadratic(self):
+        """SGD minimises f(w) = ||w - target||^2 / 2."""
+        target = np.array([3.0, -2.0])
+        params = {"W": np.zeros(2)}
+        grads = {"W": np.zeros(2)}
+        opt = SGD([(params, grads)], lr=0.2, momentum=0.5)
+        for _ in range(100):
+            grads["W"][...] = params["W"] - target
+            opt.step()
+        np.testing.assert_allclose(params["W"], target, atol=1e-6)

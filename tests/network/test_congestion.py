@@ -1,0 +1,81 @@
+"""Fair-share congestion model tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.congestion import (
+    congested_round_comm,
+    fair_share_completion_times,
+)
+
+
+class TestFairShare:
+    def test_single_flow_uses_min_of_caps(self):
+        # 10 MB over min(40, 100) = 40 Mbps -> 2 s
+        t = fair_share_completion_times([10.0], [40.0], 100.0)
+        assert t[0] == pytest.approx(2.0)
+
+    def test_symmetric_flows_split_capacity(self):
+        # two 10 MB flows share 40 Mbps -> 20 Mbps each -> 4 s both
+        t = fair_share_completion_times([10.0, 10.0], [100.0, 100.0], 40.0)
+        np.testing.assert_allclose(t, 4.0)
+
+    def test_survivor_speeds_up(self):
+        # 5 MB and 10 MB over shared 40: both at 20 until the small one
+        # finishes at t=2; the big one then runs at 40 for its last 40 Mb
+        t = fair_share_completion_times([5.0, 10.0], [100.0, 100.0], 40.0)
+        assert t[0] == pytest.approx(2.0)
+        assert t[1] == pytest.approx(2.0 + 40.0 / 40.0)
+
+    def test_device_limited_flow_frees_capacity(self):
+        # flow 0 capped at 5 Mbps; flow 1 gets the remaining 35
+        t = fair_share_completion_times([5.0, 35.0], [5.0, 100.0], 40.0)
+        assert t[0] == pytest.approx(8.0)
+        assert t[1] == pytest.approx(8.0)
+
+    def test_zero_size_completes_instantly(self):
+        t = fair_share_completion_times([0.0, 10.0], [50.0, 50.0], 50.0)
+        assert t[0] == 0.0
+        assert t[1] == pytest.approx(1.6)
+
+    def test_total_work_conserved(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.uniform(1, 50, 6)
+        t = fair_share_completion_times(
+            sizes, [80.0] * 6, 100.0
+        )
+        # server can move at most 100 Mbps: total bits / capacity is a
+        # lower bound on the last completion
+        assert t.max() >= sizes.sum() * 8.0 / 100.0 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fair_share_completion_times([1.0], [10.0, 20.0], 100.0)
+        with pytest.raises(ValueError):
+            fair_share_completion_times([1.0], [0.0], 100.0)
+        with pytest.raises(ValueError):
+            fair_share_completion_times([1.0], [10.0], 0.0)
+
+
+class TestCongestedRound:
+    def test_no_congestion_regime(self):
+        """Few participants: the device link is the bottleneck — the
+        paper's assumption holds."""
+        t1 = congested_round_comm(2.5, 1, 85.0, 1000.0)
+        t3 = congested_round_comm(2.5, 3, 85.0, 1000.0)
+        assert t3 == pytest.approx(t1)
+
+    def test_congestion_regime(self):
+        """Many VGG6 uploads saturate the server: comm time scales with
+        participants — the assumption breaks."""
+        t10 = congested_round_comm(65.4, 10, 85.0, 200.0)
+        t20 = congested_round_comm(65.4, 20, 85.0, 200.0)
+        assert t20 == pytest.approx(2 * t10, rel=0.01)
+
+    def test_crossover_point(self):
+        """The assumption holds up to server/device flows, then breaks."""
+        device, server = 85.0, 1000.0
+        crossover = server / device  # ~11.7 flows
+        below = congested_round_comm(65.4, 11, device, server)
+        above = congested_round_comm(65.4, 16, device, server)
+        assert above > below * 1.2

@@ -1,0 +1,61 @@
+"""Link model tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.link import LINK_PRESETS, Link, make_link
+
+
+class TestLink:
+    def test_upload_time_formula(self):
+        link = Link("t", uplink_mbps=80.0, downlink_mbps=40.0, rtt_s=0.02)
+        # 10 MB over 80 Mbps = 1 s plus half the RTT
+        assert link.upload_time_s(10.0) == pytest.approx(1.01)
+        assert link.download_time_s(10.0) == pytest.approx(2.01)
+
+    def test_round_trip(self):
+        link = Link("t", 80.0, 40.0, rtt_s=0.02)
+        assert link.round_trip_time_s(10.0) == pytest.approx(3.02)
+
+    def test_zero_size_costs_latency_only(self):
+        link = Link("t", 80.0, 40.0, rtt_s=0.02)
+        assert link.upload_time_s(0.0) == pytest.approx(0.01)
+
+    def test_negative_size_raises(self):
+        link = Link("t", 80.0, 40.0)
+        with pytest.raises(ValueError):
+            link.upload_time_s(-1.0)
+
+    def test_jitter_varies_but_preserves_mean(self):
+        link = Link("t", 80.0, 80.0, rtt_s=0.0, jitter=0.3, seed=0)
+        times = np.array([link.upload_time_s(10.0) for _ in range(500)])
+        assert times.std() > 0
+        assert times.mean() == pytest.approx(1.0, rel=0.15)
+
+    def test_jitter_deterministic_per_seed(self):
+        a = Link("t", 80.0, 80.0, jitter=0.3, seed=7).upload_time_s(10)
+        b = Link("t", 80.0, 80.0, jitter=0.3, seed=7).upload_time_s(10)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("t", 0.0, 40.0)
+        with pytest.raises(ValueError):
+            Link("t", 80.0, 40.0, rtt_s=-1.0)
+
+
+class TestPresets:
+    def test_wifi_symmetric_fast(self):
+        wifi = make_link("wifi")
+        assert wifi.uplink_mbps == wifi.downlink_mbps == 85.0
+
+    def test_lte_asymmetric(self):
+        lte = make_link("lte")
+        assert lte.uplink_mbps > lte.downlink_mbps  # paper: 60 up, 11 down
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            make_link("5g")
+
+    def test_presets_registry(self):
+        assert set(LINK_PRESETS) == {"wifi", "lte"}

@@ -1,0 +1,48 @@
+"""Model-transfer cost tests (Table II communication fractions)."""
+
+import pytest
+
+from repro.models import MNIST_SHAPE, lenet, vgg6
+from repro.network.link import make_link
+from repro.network.transfer import CommCost, comm_fraction, round_comm_cost
+
+
+class TestRoundCommCost:
+    def test_lenet_wifi_small(self):
+        """LeNet (2.5 MB) over WiFi: well under a second each way."""
+        comm = round_comm_cost(lenet(), make_link("wifi"))
+        assert 0.1 < comm.total_s < 1.0
+
+    def test_vgg_lte_dominated_by_downlink(self):
+        comm = round_comm_cost(
+            vgg6(input_shape=MNIST_SHAPE), make_link("lte")
+        )
+        # 65.4 MB over 11 Mbps down ~ 47.6 s vs 8.7 s up
+        assert comm.download_s > 4 * comm.upload_s
+        assert 40 < comm.total_s < 70
+
+    def test_total_is_sum(self):
+        c = CommCost(download_s=1.0, upload_s=2.0)
+        assert c.total_s == 3.0
+
+
+class TestCommFraction:
+    def test_paper_range(self):
+        """Observation 3: comm is ~0.1-15 % of the round across the
+        model/link grid."""
+        fractions = []
+        for model in (lenet(), vgg6(input_shape=MNIST_SHAPE)):
+            for link_name in ("wifi", "lte"):
+                comm = round_comm_cost(model, make_link(link_name))
+                # representative compute times from Table II
+                compute = 31.0 if model.name == "lenet" else 495.0
+                fractions.append(comm_fraction(compute, comm))
+        assert all(0.001 < f < 0.16 for f in fractions)
+
+    def test_zero_compute(self):
+        c = CommCost(1.0, 1.0)
+        assert comm_fraction(0.0, c) == 1.0
+
+    def test_negative_compute_raises(self):
+        with pytest.raises(ValueError):
+            comm_fraction(-1.0, CommCost(1.0, 1.0))

@@ -1,0 +1,67 @@
+"""Online RLS profile tests."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.online import OnlineTimeProfile
+
+
+class TestOnlineTimeProfile:
+    def test_recovers_linear_relation(self, rng):
+        prof = OnlineTimeProfile(forgetting=1.0)
+        for _ in range(50):
+            n = float(rng.uniform(100, 5000))
+            prof.observe(n, 2.0 + 0.01 * n)
+        assert prof.predict(3000) == pytest.approx(32.0, rel=1e-3)
+        np.testing.assert_allclose(
+            prof.theta, [2.0, 0.01], rtol=1e-3, atol=1e-3
+        )
+
+    def test_forgetting_tracks_drift(self, rng):
+        """After the device starts throttling (slope doubles), the
+        forgetting profile converges to the new regime while ordinary
+        RLS stays anchored to the average."""
+        adaptive = OnlineTimeProfile(forgetting=0.8)
+        frozen = OnlineTimeProfile(forgetting=1.0)
+        for _ in range(40):
+            n = float(rng.uniform(500, 4000))
+            t = 0.01 * n
+            adaptive.observe(n, t)
+            frozen.observe(n, t)
+        for _ in range(40):
+            n = float(rng.uniform(500, 4000))
+            t = 0.02 * n  # throttled regime
+            adaptive.observe(n, t)
+            frozen.observe(n, t)
+        truth = 0.02 * 3000
+        assert abs(adaptive.predict(3000) - truth) < abs(
+            frozen.predict(3000) - truth
+        )
+        assert adaptive.predict(3000) == pytest.approx(truth, rel=0.1)
+
+    def test_seeded_from_offline_curve(self):
+        prof = OnlineTimeProfile(initial_curve=lambda n: 1.0 + 0.005 * n)
+        assert prof.predict(2000) == pytest.approx(11.0, rel=0.05)
+        assert prof.n_observations == 2
+
+    def test_curve_is_live(self):
+        prof = OnlineTimeProfile()
+        curve = prof.curve()
+        prof.observe(1000, 10.0)
+        prof.observe(2000, 20.0)
+        assert curve(1500) == pytest.approx(15.0, rel=0.05)
+
+    def test_prediction_floor(self):
+        prof = OnlineTimeProfile()
+        assert prof.predict(100) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineTimeProfile(forgetting=0.0)
+        with pytest.raises(ValueError):
+            OnlineTimeProfile(prior_scale=0.0)
+        prof = OnlineTimeProfile()
+        with pytest.raises(ValueError):
+            prof.observe(0, 1.0)
+        with pytest.raises(ValueError):
+            prof.observe(100, -1.0)

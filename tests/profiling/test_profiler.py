@@ -1,0 +1,159 @@
+"""Two-step profiler tests against the device simulator."""
+
+import numpy as np
+import pytest
+
+from repro.device.registry import make_device
+from repro.device.workload import TrainingWorkload
+from repro.models import MNIST_SHAPE, lenet, model_training_flops
+from repro.models.zoo import profiling_family
+from repro.profiling import (
+    DeviceProfile,
+    bootstrap_curve,
+    build_profile,
+    measure_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def mate10_profile():
+    device = make_device("mate10", jitter=0.0)
+    family = profiling_family(
+        input_shape=MNIST_SHAPE,
+        conv_widths=(4, 8, 16),
+        dense_widths=(32, 256),
+    )
+    return build_profile(device, family, data_sizes=(500, 1000, 2000))
+
+
+class TestMeasureGrid:
+    def test_grid_size(self):
+        device = make_device("pixel2", jitter=0.0)
+        family = profiling_family(conv_widths=(4, 8), dense_widths=(32,))
+        ms = measure_grid(device, family, (200, 400))
+        assert len(ms) == 4
+        assert all(m.time_s > 0 for m in ms)
+
+    def test_cold_start_times_repeatable(self):
+        device = make_device("pixel2", jitter=0.0)
+        family = profiling_family(conv_widths=(4,), dense_widths=(32,))
+        a = measure_grid(device, family, (300,))[0].time_s
+        b = measure_grid(device, family, (300,))[0].time_s
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        device = make_device("pixel2")
+        with pytest.raises(ValueError):
+            measure_grid(device, [], (100,))
+        family = profiling_family(conv_widths=(4,), dense_widths=(32,))
+        with pytest.raises(ValueError):
+            measure_grid(device, family, (0,))
+
+
+class TestTwoStepProfile:
+    def test_step1_fits_tightly(self, mate10_profile):
+        """Fig. 4(a): time is near-linear in (conv, dense) params."""
+        for d, r2 in mate10_profile.step1_r2().items():
+            assert r2 > 0.95, f"poor step-1 fit at {d} samples"
+
+    def test_curve_monotone_nondecreasing(self, mate10_profile):
+        curve = mate10_profile.time_curve(lenet())
+        xs = [100, 500, 1000, 3000, 6000]
+        ys = [curve(x) for x in xs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert all(y > 0 for y in ys)
+
+    def test_holdout_prediction_close(self, mate10_profile):
+        """Fig. 4(b): the step-2 curve tracks direct measurement for an
+        architecture outside the profiled family."""
+        model = lenet()
+        curve = mate10_profile.time_curve(model)
+        device = make_device("mate10", jitter=0.0)
+        flops = model_training_flops(model)
+        for n in (800, 1600):
+            device.reset()
+            measured = device.run_workload(
+                TrainingWorkload(flops, n, 20), record=False
+            ).total_time_s
+            assert curve(n) == pytest.approx(measured, rel=0.3)
+
+    def test_needs_three_architectures(self):
+        device = make_device("mate10")
+        family = profiling_family(conv_widths=(4,), dense_widths=(32,))
+        with pytest.raises(ValueError):
+            build_profile(device, family[:1], (100,))
+
+
+class TestBootstrapCurve:
+    def test_linear_device_near_exact(self):
+        """On a non-throttling device the bootstrap curve is accurate."""
+        device = make_device("pixel2", jitter=0.0)
+        model = lenet()
+        curve = bootstrap_curve(device, model, (500, 1000, 2000))
+        device.reset()
+        measured = device.run_workload(
+            TrainingWorkload(model_training_flops(model), 1500, 20),
+            record=False,
+        ).total_time_s
+        assert curve(1500) == pytest.approx(measured, rel=0.05)
+
+    def test_throttling_device_linear_fit_interpolates(self):
+        """On the Nexus 6P the measured curve is convex (cold -> hot), so
+        a least-squares line sits *above* the truth mid-range."""
+        device = make_device("nexus6p", jitter=0.0)
+        model = lenet()
+        curve = bootstrap_curve(device, model, (500, 3000, 6000, 12000))
+        flops = model_training_flops(model)
+
+        def measured(n):
+            device.reset()
+            return device.run_workload(
+                TrainingWorkload(flops, n, 20), record=False
+            ).total_time_s
+
+        assert curve(3000) > measured(3000)
+
+    def test_quadratic_improves_throttled_fit(self):
+        device = make_device("nexus6p", jitter=0.0)
+        model = lenet()
+        sizes = (500, 1500, 3000, 6000, 9000)
+        lin = bootstrap_curve(device, model, sizes)
+        quad = bootstrap_curve(device, model, sizes, quadratic=True)
+        flops = model_training_flops(model)
+        device.reset()
+        truth = device.run_workload(
+            TrainingWorkload(flops, 4500, 20), record=False
+        ).total_time_s
+        assert abs(quad(4500) - truth) <= abs(lin(4500) - truth)
+
+    def test_needs_enough_sizes(self):
+        device = make_device("pixel2")
+        with pytest.raises(ValueError):
+            bootstrap_curve(device, lenet(), (500,))
+
+    def test_curve_floor_positive(self):
+        device = make_device("pixel2", jitter=0.0)
+        curve = bootstrap_curve(device, lenet(), (500, 1000))
+        assert curve(-1e9) > 0
+
+
+class TestQuadraticTwoStep:
+    def test_quadratic_step2_on_linear_device_matches_linear(self):
+        """On a non-throttling device the quadratic term fits ~0 and the
+        curve agrees with the linear two-step profile."""
+        device = make_device("pixel2", jitter=0.0)
+        family = profiling_family(
+            input_shape=MNIST_SHAPE,
+            conv_widths=(4, 8, 16),
+            dense_widths=(32, 256),
+        )
+        lin = build_profile(device, family, (500, 1000, 2000, 4000))
+        quad = build_profile(
+            device, family, (500, 1000, 2000, 4000),
+            quadratic_step2=True,
+        )
+        model = lenet()
+        c_lin = lin.time_curve(model)
+        c_quad = quad.time_curve(model)
+        for n in (800, 2500):
+            assert c_quad(n) == pytest.approx(c_lin(n), rel=0.05)

@@ -1,0 +1,58 @@
+"""Linear-regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.regression import LinearRegressor
+
+
+class TestLinearRegressor:
+    def test_exact_recovery_on_linear_data(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = 3.0 + 2.0 * x[:, 0] - 1.5 * x[:, 1]
+        reg = LinearRegressor().fit(x, y)
+        assert reg.intercept_ == pytest.approx(3.0, abs=1e-9)
+        np.testing.assert_allclose(reg.coef_, [2.0, -1.5], atol=1e-9)
+        assert reg.r2(x, y) == pytest.approx(1.0)
+
+    def test_noisy_fit_good_r2(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = 1.0 + x @ np.array([2.0, 3.0]) + rng.normal(0, 0.1, 200)
+        reg = LinearRegressor().fit(x, y)
+        assert reg.r2(x, y) > 0.95
+
+    def test_quadratic_features(self, rng):
+        x = rng.uniform(0, 5, size=(80, 1))
+        y = 1.0 + 2.0 * x[:, 0] + 0.5 * x[:, 0] ** 2
+        lin = LinearRegressor().fit(x, y)
+        quad = LinearRegressor(quadratic=True).fit(x, y)
+        assert quad.r2(x, y) > 0.999
+        assert quad.r2(x, y) > lin.r2(x, y)
+
+    def test_predict_shape(self, rng):
+        reg = LinearRegressor().fit(rng.normal(size=(10, 3)), rng.normal(size=10))
+        out = reg.predict(rng.normal(size=(4, 3)))
+        assert out.shape == (4,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict([[1.0]])
+
+    def test_feature_count_mismatch_raises(self, rng):
+        reg = LinearRegressor().fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        with pytest.raises(ValueError):
+            reg.predict(rng.normal(size=(3, 4)))
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit([[1.0, 2.0]], [1.0])
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(rng.normal(size=(5, 2)), rng.normal(size=4))
+
+    def test_constant_target_r2(self):
+        x = np.arange(5.0).reshape(-1, 1)
+        y = np.full(5, 2.0)
+        reg = LinearRegressor().fit(x, y)
+        assert reg.r2(x, y) == 1.0

@@ -1,0 +1,81 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Snapdragon 810" in out
+        assert "testbeds" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_trace_unknown_device(self, capsys):
+        assert main(["trace", "iphone"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_run_archives_results(self, tmp_path, capsys):
+        assert (
+            main(["run", "table4", "--out", str(tmp_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert (tmp_path / "table4.txt").exists()
+
+    def test_trace_produces_plots(self, capsys):
+        assert (
+            main(
+                ["trace", "pixel2", "--model", "lenet", "--samples", "600"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "die temperature" in out
+        assert "per-batch training time" in out
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table2", "table3", "table4", "table5",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_report_command(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig5.txt").write_text("== fig5: demo\nrow\n")
+        (results / "ablation_x.txt").write_text("== ablation_x: demo\n")
+        out_file = tmp_path / "report.txt"
+        assert (
+            main(
+                [
+                    "report",
+                    "--results",
+                    str(results),
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        text = out_file.read_text()
+        assert "REPRODUCTION REPORT" in text
+        # paper artifact ordered before the ablation
+        assert text.index("fig5") < text.index("ablation_x")
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        assert (
+            main(["report", "--results", str(tmp_path / "nope")]) == 2
+        )

@@ -1,0 +1,56 @@
+"""Smoke-run every example script.
+
+Examples are the first thing a new user runs; these tests keep them
+working as the API evolves. Each example is executed in-process with
+its output captured and checked for its headline content.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Fed-LBAP speedup vs best baseline" in out
+        speedup = float(out.rsplit(":", 1)[1].strip().rstrip("x"))
+        assert speedup > 1.0
+
+    def test_straggler_analysis(self, capsys):
+        out = run_example("straggler_analysis.py", capsys)
+        assert "cores went OFFLINE" in out  # the Nexus 6P pathology
+        assert "straggler needs" in out
+
+    def test_profiling_demo(self, capsys):
+        out = run_example("profiling_demo.py", capsys)
+        assert "R^2" in out
+        assert "predicted" in out
+
+    def test_noniid_scheduling(self, capsys):
+        out = run_example("noniid_scheduling.py", capsys)
+        assert "class 7 exists ONLY on pixel2" in out
+        assert "100%" in out  # some row reaches full coverage
+
+    def test_federated_training(self, capsys):
+        out = run_example("federated_training.py", capsys)
+        assert "final accuracy" in out
+        assert "battery=" in out
+
+    def test_adaptive_scheduling(self, capsys):
+        out = run_example("adaptive_scheduling.py", capsys)
+        assert "converged to within" in out
+
+    def test_beyond_the_paper(self, capsys):
+        out = run_example("beyond_the_paper.py", capsys)
+        assert "discards nothing" in out
+        assert "consensus distance" in out
