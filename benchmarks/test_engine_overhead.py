@@ -1,0 +1,145 @@
+"""Engine overhead micro-benchmark.
+
+The event-driven ``RoundEngine`` replaced the seed's hand-rolled round
+loop. This benchmark pins the cost of that indirection (EventBus
+emissions, strategy/topology objects, history plumbing): a 20-user
+timing-only round sequence must run within 5% of a bare loop that
+calls the device/link substrates directly, exactly as the pre-engine
+``FederatedSimulation`` did.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_engine_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.partition import iid_partition
+from repro.data.synthetic import SyntheticConfig, make_dataset
+from repro.device.registry import make_device
+from repro.device.workload import TrainingWorkload
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+from repro.models.flops import model_training_flops
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_USERS = 20
+N_ROUNDS = 5
+REPEATS = 5
+BUDGET = 0.05  # relative overhead ceiling
+
+DEVICE_NAMES = ("pixel2", "mate10", "nexus6p", "pixel2", "nexus6")
+
+
+def _dataset():
+    return make_dataset(
+        SyntheticConfig(
+            name="bench",
+            shape=(1, 8, 8),
+            num_classes=10,
+            train_size=40_000,
+            test_size=100,
+            noise=1.0,
+            seed=7,
+        )
+    )
+
+
+def _fleet():
+    return [
+        make_device(DEVICE_NAMES[j % len(DEVICE_NAMES)], jitter=0.0)
+        for j in range(N_USERS)
+    ]
+
+
+def _seed_loop_rounds(dataset, model, users, devices, n_rounds,
+                      aggregation_s=1.0):
+    """The pre-engine timing loop, verbatim: dispatch every data-holding
+    client, barrier on the straggler, idle the rest, advance the clock."""
+    flops = model_training_flops(model)
+    clock_s = 0.0
+    makespans = []
+    for _ in range(n_rounds):
+        eligible = [j for j, u in enumerate(users) if u.size > 0]
+        times = np.zeros(len(users))
+        for j in eligible:
+            workload = TrainingWorkload(
+                flops_per_sample=flops,
+                n_samples=users[j].size,
+                batch_size=20,
+                epochs=1,
+                model_name=model.name,
+            )
+            times[j] = devices[j].run_workload(
+                workload, record=False
+            ).total_time_s
+        makespan = float(times[eligible].max())
+        for j, user in enumerate(users):
+            wait = makespan - times[j] + aggregation_s
+            if user.size > 0 and wait > 0:
+                devices[j].idle(wait)
+        clock_s += makespan
+        makespans.append(makespan)
+    return makespans
+
+
+def _time_seed(dataset, users):
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    devices = _fleet()
+    t0 = time.perf_counter()
+    makespans = _seed_loop_rounds(dataset, model, users, devices, N_ROUNDS)
+    return time.perf_counter() - t0, makespans
+
+
+def _time_engine(dataset, users):
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    sim = FederatedSimulation(
+        dataset, model, users, devices=_fleet(),
+        config=SimulationConfig(),
+    )
+    t0 = time.perf_counter()
+    history = sim.run(N_ROUNDS, train=False)
+    return time.perf_counter() - t0, history.makespans()
+
+
+def test_engine_overhead_under_budget():
+    dataset = _dataset()
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, N_USERS, rng)
+
+    seed_times, engine_times = [], []
+    seed_spans = engine_spans = None
+    for _ in range(REPEATS):
+        t, seed_spans = _time_seed(dataset, users)
+        seed_times.append(t)
+        t, engine_spans = _time_engine(dataset, users)
+        engine_times.append(t)
+
+    # identical physics: both loops drive the same device simulations
+    np.testing.assert_allclose(engine_spans, seed_spans)
+
+    seed_best = min(seed_times)
+    engine_best = min(engine_times)
+    overhead = (engine_best - seed_best) / seed_best
+
+    lines = [
+        "== engine_overhead: event-driven RoundEngine vs seed-style loop",
+        f"{N_USERS} users, {N_ROUNDS} timing-only rounds, "
+        f"best of {REPEATS} repeats",
+        f"seed loop     {seed_best * 1000:8.1f} ms",
+        f"round engine  {engine_best * 1000:8.1f} ms",
+        f"overhead      {overhead * 100:+8.2f} %  (budget {BUDGET:.0%})",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_overhead.txt").write_text(text + "\n")
+
+    assert overhead < BUDGET, (
+        f"engine overhead {overhead:.1%} exceeds {BUDGET:.0%} budget"
+    )

@@ -6,13 +6,15 @@ Public API highlights:
 * :mod:`repro.core` — Fed-LBAP / Fed-MinAvg schedulers and baselines.
 * :mod:`repro.device` — calibrated mobile-SoC simulator (Table I phones).
 * :mod:`repro.profiling` — the two-step training-time profiler.
+* :mod:`repro.engine` — the unified event-driven FL execution core
+  (round engine, aggregation strategies, topologies, telemetry).
 * :mod:`repro.federated` — FedAvg simulation with a device-driven clock.
 * :mod:`repro.data` / :mod:`repro.models` — datasets, partitioners and
   the NumPy training stack (LeNet / VGG6).
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
-from . import core, data, device, federated, models, network, profiling
+from . import core, data, device, engine, federated, models, network, profiling
 
 __version__ = "1.0.0"
 
@@ -20,6 +22,7 @@ __all__ = [
     "core",
     "data",
     "device",
+    "engine",
     "federated",
     "models",
     "network",

@@ -24,7 +24,9 @@ from typing import Dict, List
 from . import experiments as E
 from .device.registry import DEVICE_NAMES, TESTBEDS, build_spec, make_device
 from .device.workload import TrainingWorkload
+from .engine.telemetry import record_telemetry
 from .experiments.ascii_plot import line_plot, multi_series
+from .experiments.runner import summarize_telemetry
 from .models.flops import model_training_flops
 from .models.zoo import MNIST_SHAPE, build_model
 
@@ -64,14 +66,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
-    for name in targets:
-        t0 = time.time()
-        result = EXPERIMENTS[name].run()
-        text = result.to_table()
-        print(text)
-        print(f"[{name} finished in {time.time() - t0:.1f} s]\n")
-        if out_dir:
-            (out_dir / f"{name}.txt").write_text(text + "\n")
+    telemetry_path = getattr(args, "telemetry", None)
+
+    def run_targets(aggregator=None) -> None:
+        for name in targets:
+            t0 = time.time()
+            seen = len(aggregator.events) if aggregator is not None else 0
+            result = EXPERIMENTS[name].run()
+            if aggregator is not None:
+                result.add_note(
+                    summarize_telemetry(aggregator, since_event=seen)
+                )
+            text = result.to_table()
+            print(text)
+            print(f"[{name} finished in {time.time() - t0:.1f} s]\n")
+            if out_dir:
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    if telemetry_path:
+        with record_telemetry(telemetry_path) as aggregator:
+            run_targets(aggregator)
+        print(
+            f"[telemetry: {len(aggregator.events)} events -> "
+            f"{telemetry_path}]"
+        )
+    else:
+        run_targets()
     return 0
 
 
@@ -204,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--out", default=None, help="directory to archive result tables"
+    )
+    p_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream engine events (per-client dispatch/finish, "
+        "aggregations, round completions) to a JSON-lines file",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -1,0 +1,574 @@
+"""The unified round engine behind every FL simulation mode.
+
+One :class:`RoundEngine` owns the simulation substrates — per-user
+data, the device/thermal/battery simulators, the network links, the
+scratch model and the shared RNG — and exposes three drivers over them:
+
+* :meth:`RoundEngine.run_sync_round` — synchronous FedAvg with an
+  optional straggler-dropout deadline (the paper's Sec. VII loop);
+* :meth:`RoundEngine.run_async` — FedAsync-style event loop with
+  staleness-weighted mixing (no round barrier);
+* :meth:`RoundEngine.run_gossip_round` — one D-PSGD round of local
+  SGD plus doubly-stochastic neighbour averaging.
+
+``FederatedSimulation``, ``AsyncFederatedSimulation`` and
+``DecentralizedSimulation`` are thin façades over these drivers; the
+per-client dispatch and aggregation loops live only here. Every driver
+narrates its work on the engine's :class:`~repro.engine.events.EventBus`
+(see :mod:`repro.engine.events` for the taxonomy), which the telemetry
+layer folds into structured records.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.partition import UserData
+from ..data.synthetic import Dataset
+from ..device.device import MobileDevice
+from ..device.workload import TrainingWorkload
+from ..models.flops import model_training_flops
+from ..models.network import Sequential
+from ..network.link import Link
+from ..network.transfer import round_comm_cost
+from .aggregation import AggregationStrategy, StalenessWeighted, SyncFedAvg
+from .events import (
+    ClientDispatched,
+    ClientDropped,
+    ClientFinished,
+    EventBus,
+    ModelAggregated,
+    RoundCompleted,
+)
+from .execution import evaluate_accuracy, train_local
+from .telemetry import ConvergenceHistory, RoundRecord
+from .topology import StarTopology, Topology
+
+__all__ = ["AsyncUpdate", "RoundEngine"]
+
+
+@dataclass
+class AsyncUpdate:
+    """One applied asynchronous update."""
+
+    time_s: float
+    user_id: int
+    staleness: int
+    mix: float
+    accuracy: Optional[float]
+
+
+class RoundEngine:
+    """Shared execution core: substrates + event stream + drivers.
+
+    Parameters
+    ----------
+    dataset, model, users:
+        Global dataset, the global model (mutated in place by the sync
+        and async drivers; seeds the replicas of the gossip driver) and
+        per-user local data.
+    strategy:
+        The pluggable :class:`AggregationStrategy` the drivers consult.
+    topology:
+        Communication shape; defaults to a star (parameter server).
+    devices, links:
+        Optional per-user device simulators and network links for the
+        virtual clock. Without devices rounds report zero time.
+    dropout:
+        Optional deadline-based straggler-dropout policy (sync driver
+        only); requires ``devices``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: Sequential,
+        users: Sequence[UserData],
+        strategy: Optional[AggregationStrategy] = None,
+        topology: Optional[Topology] = None,
+        devices: Optional[Sequence[MobileDevice]] = None,
+        links: Optional[Sequence[Link]] = None,
+        dropout=None,
+        *,
+        batch_size: int = 20,
+        local_epochs: int = 1,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        eval_every: int = 1,
+        eval_every_updates: int = 5,
+        aggregation_s: float = 1.0,
+        min_soc: float = 0.0,
+        seed: int = 0,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if devices is not None and len(devices) != len(users):
+            raise ValueError("one device per user required")
+        if links is not None and len(links) != len(users):
+            raise ValueError("one link per user required")
+        self.dataset = dataset
+        self.model = model
+        self.users = list(users)
+        if not self.users:
+            raise ValueError("need at least one user")
+        self.devices = list(devices) if devices is not None else None
+        self.links = list(links) if links is not None else None
+        if dropout is not None and devices is None:
+            raise ValueError(
+                "straggler dropout needs devices (deadlines are defined "
+                "over simulated round times)"
+            )
+        self.dropout = dropout
+        self.strategy = strategy or SyncFedAvg()
+        self.topology = topology or StarTopology(len(self.users))
+        self.batch_size = batch_size
+        self.local_epochs = local_epochs
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.eval_every = eval_every
+        self.eval_every_updates = eval_every_updates
+        self.aggregation_s = aggregation_s
+        self.min_soc = min_soc
+        self.bus = bus or EventBus()
+
+        self._scratch = model.clone()
+        self._flops = model_training_flops(model)
+        self._rng = np.random.default_rng(seed)
+        self.history = ConvergenceHistory()
+        self.clock_s = 0.0
+
+        #: bound by the sync façade (duck-typed: global_weights(),
+        #: round_idx, model); the engine never constructs one so the
+        #: server module can depend on the engine, not vice versa.
+        self.server = None
+
+        # -- async driver state ------------------------------------------
+        n = len(self.users)
+        self.version = 0
+        self.updates: List[AsyncUpdate] = []
+        self._pulled_version = [0] * n
+        self._start_weights: List[Optional[np.ndarray]] = [None] * n
+        self._epoch_start = [0.0] * n
+
+        # -- gossip driver state -----------------------------------------
+        self.replicas: Optional[np.ndarray] = None
+        self.round_idx = 0
+
+    # -- shared substrate helpers ----------------------------------------
+    def bind_server(self, server) -> None:
+        """Attach the parameter server the sync driver aggregates into."""
+        self.server = server
+
+    def battery_ok(self, j: int) -> bool:
+        """Whether user j's device has charge to spare this round."""
+        if self.devices is None or self.min_soc <= 0.0:
+            return True
+        return self.devices[j].battery.soc >= self.min_soc
+
+    def eligible_clients(self) -> List[int]:
+        """Users holding data whose battery clears the participation
+        floor, in dispatch order."""
+        return [
+            j
+            for j, u in enumerate(self.users)
+            if u.size > 0 and self.battery_ok(j)
+        ]
+
+    def client_compute_time(self, j: int, epochs: int = 1) -> float:
+        """Advance user j's device through its local workload and return
+        the simulated compute seconds (thermal/battery state persists)."""
+        if self.devices is None:
+            return 0.0
+        workload = TrainingWorkload(
+            flops_per_sample=self._flops,
+            n_samples=self.users[j].size,
+            batch_size=self.batch_size,
+            epochs=epochs,
+            model_name=self.model.name,
+        )
+        return self.devices[j].run_workload(
+            workload, record=False
+        ).total_time_s
+
+    def client_comm_time(self, j: int) -> float:
+        """Round-trip model transfer seconds over user j's link."""
+        if self.links is None:
+            return 0.0
+        return round_comm_cost(self.model, self.links[j]).total_s
+
+    def _train_client(
+        self, j: int, start_weights: np.ndarray, epochs: int
+    ):
+        """Local SGD for user j from the given starting weights."""
+        x, y = self.dataset.subset(self.users[j].indices)
+        self._scratch.set_weights(start_weights)
+        return train_local(
+            self._scratch,
+            x,
+            y,
+            epochs=epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            rng=self._rng,
+        )
+
+    def final_accuracy(self) -> float:
+        """Accuracy of the current global model on the test split."""
+        return evaluate_accuracy(
+            self.model, self.dataset.x_test, self.dataset.y_test
+        )
+
+    # -- synchronous driver ----------------------------------------------
+    def _dispatch_round(
+        self, round_idx: int, participants: Sequence[int]
+    ) -> np.ndarray:
+        """Run every participant's workload on its device and return
+        per-user round times (compute + comm), emitting dispatch and
+        completion events in client order."""
+        times = np.zeros(len(self.users))
+        for j in participants:
+            self.bus.emit(
+                ClientDispatched(
+                    round_idx=round_idx,
+                    client_id=j,
+                    n_samples=self.users[j].size,
+                    time_s=self.clock_s,
+                )
+            )
+            compute_s = 0.0
+            comm_s = 0.0
+            if self.devices is not None:
+                compute_s = self.client_compute_time(
+                    j, epochs=self.local_epochs
+                )
+                comm_s = self.client_comm_time(j)
+            times[j] = compute_s + comm_s
+            self.bus.emit(
+                ClientFinished(
+                    round_idx=round_idx,
+                    client_id=j,
+                    compute_s=compute_s,
+                    comm_s=comm_s,
+                    total_s=times[j],
+                    time_s=self.clock_s + times[j],
+                )
+            )
+        return times
+
+    def _idle_to_barrier(self, times: np.ndarray, makespan: float) -> None:
+        """Let fast devices cool down while waiting for the straggler."""
+        if self.devices is None:
+            return
+        for j, user in enumerate(self.users):
+            wait = makespan - times[j] + self.aggregation_s
+            if user.size > 0 and wait > 0:
+                self.devices[j].idle(wait)
+
+    def run_sync_round(self, train: bool = True) -> RoundRecord:
+        """One synchronous round: dispatch, barrier, aggregate, record.
+
+        ``train=False`` skips the actual SGD and aggregation (used by
+        timing-only experiments, e.g. Fig. 5/7 makespan grids).
+        """
+        if self.server is None:
+            raise RuntimeError(
+                "no parameter server bound (call bind_server first)"
+            )
+        # Battery opt-out must be decided before the round runs (the
+        # device would not even start training).
+        eligible = self.eligible_clients()
+        if not eligible:
+            if any(u.size > 0 for u in self.users):
+                raise RuntimeError(
+                    "every data-holding device is below min_soc"
+                )
+            raise RuntimeError("no user holds any data")
+        round_idx = self.server.round_idx + 1
+        times = self._dispatch_round(round_idx, eligible)
+        active = eligible
+        aggregators = active
+        if self.dropout is not None:
+            from ..federated.dropout import apply_deadline
+
+            aggregators, dropped, makespan = apply_deadline(
+                times, active, self.dropout
+            )
+            for j in dropped:
+                self.bus.emit(
+                    ClientDropped(
+                        round_idx=round_idx,
+                        client_id=j,
+                        total_s=float(times[j]),
+                        time_s=self.clock_s + makespan,
+                    )
+                )
+        else:
+            makespan = float(times[active].max()) if self.devices else 0.0
+        mean_t = float(times[active].mean()) if self.devices else 0.0
+        self._idle_to_barrier(times, makespan)
+
+        if train:
+            global_w = self.server.global_weights()
+            weight_vectors: List[np.ndarray] = []
+            counts: List[int] = []
+            for j in aggregators:
+                result = self._train_client(
+                    j, global_w, epochs=self.local_epochs
+                )
+                weight_vectors.append(result.weights)
+                counts.append(result.n_samples)
+            new_weights = self.strategy.aggregate(
+                weight_vectors, counts, global_weights=global_w
+            )
+            self.server.model.set_weights(new_weights)
+            self.server.round_idx += 1
+            self.bus.emit(
+                ModelAggregated(
+                    round_idx=round_idx,
+                    participants=tuple(aggregators),
+                    strategy=self.strategy.name,
+                    version=self.server.round_idx,
+                    time_s=self.clock_s + makespan,
+                )
+            )
+        else:
+            self.server.round_idx += 1
+
+        accuracy: Optional[float] = None
+        if train and (self.server.round_idx % self.eval_every == 0):
+            accuracy = evaluate_accuracy(
+                self.server.model, self.dataset.x_test, self.dataset.y_test
+            )
+        self.clock_s += makespan
+        record = RoundRecord(
+            round_idx=self.server.round_idx,
+            makespan_s=makespan,
+            mean_time_s=mean_t,
+            accuracy=accuracy,
+            participant_count=len(aggregators),
+            per_user_time_s=times,
+        )
+        self.history.append(record)
+        self.bus.emit(
+            RoundCompleted(
+                round_idx=self.server.round_idx,
+                makespan_s=makespan,
+                mean_time_s=mean_t,
+                participant_count=len(aggregators),
+                accuracy=accuracy,
+                time_s=self.clock_s,
+            )
+        )
+        return record
+
+    # -- asynchronous driver ---------------------------------------------
+    def _staleness_strategy(self) -> StalenessWeighted:
+        if not isinstance(self.strategy, StalenessWeighted):
+            raise TypeError(
+                "the async driver needs a StalenessWeighted strategy"
+            )
+        return self.strategy
+
+    def epoch_time(self, j: int) -> float:
+        """Virtual seconds for user j's next local epoch (device state
+        persists: continuous training heats the device)."""
+        return self.client_compute_time(j, epochs=1)
+
+    def _start_epoch(self, j: int) -> float:
+        self._pulled_version[j] = self.version
+        self._start_weights[j] = self.model.get_weights()
+        self._epoch_start[j] = self.clock_s
+        self.bus.emit(
+            ClientDispatched(
+                round_idx=self.version,
+                client_id=j,
+                n_samples=self.users[j].size,
+                time_s=self.clock_s,
+            )
+        )
+        return self.epoch_time(j)
+
+    def _apply_async_update(self, j: int, time_s: float) -> AsyncUpdate:
+        strategy = self._staleness_strategy()
+        result = self._train_client(j, self._start_weights[j], epochs=1)
+        staleness = self.version - self._pulled_version[j]
+        new, mix = strategy.merge(
+            self.model.get_weights(), result.weights, staleness
+        )
+        self.model.set_weights(new)
+        self.version += 1
+        accuracy = None
+        if self.version % self.eval_every_updates == 0:
+            accuracy = evaluate_accuracy(
+                self.model, self.dataset.x_test, self.dataset.y_test
+            )
+        update = AsyncUpdate(
+            time_s=time_s,
+            user_id=j,
+            staleness=staleness,
+            mix=mix,
+            accuracy=accuracy,
+        )
+        self.updates.append(update)
+        epoch_s = time_s - self._epoch_start[j]
+        self.bus.emit(
+            ClientFinished(
+                round_idx=self.version,
+                client_id=j,
+                compute_s=epoch_s,
+                comm_s=0.0,
+                total_s=epoch_s,
+                time_s=time_s,
+            )
+        )
+        self.bus.emit(
+            ModelAggregated(
+                round_idx=self.version,
+                participants=(j,),
+                strategy=strategy.name,
+                version=self.version,
+                time_s=time_s,
+            )
+        )
+        return update
+
+    def run_async(self, horizon_s: float) -> List[AsyncUpdate]:
+        """Run the async event loop until the clock passes the horizon.
+
+        Returns the updates applied during this call. Calling again
+        resumes from the current clock, but in-flight epochs that had
+        not completed by the previous horizon are *restarted* (the
+        scheduler re-pulls the current global model), not continued.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self._staleness_strategy()
+        start_count = len(self.updates)
+        heap: List = []
+        for j, user in enumerate(self.users):
+            if user.size == 0:
+                continue
+            finish = self.clock_s + self._start_epoch(j)
+            heapq.heappush(heap, (finish, j))
+        end = self.clock_s + horizon_s
+        while heap:
+            finish, j = heapq.heappop(heap)
+            if finish > end:
+                # Client finishes beyond the horizon; stop here.
+                self.clock_s = end
+                break
+            self.clock_s = finish
+            self._apply_async_update(j, finish)
+            next_finish = finish + self._start_epoch(j)
+            heapq.heappush(heap, (next_finish, j))
+        return self.updates[start_count:]
+
+    def update_counts(self) -> np.ndarray:
+        """Applied async updates per user — fast devices dominate, the
+        imbalance behind async's bias/divergence risk."""
+        counts = np.zeros(len(self.users), dtype=np.int64)
+        for u in self.updates:
+            counts[u.user_id] += 1
+        return counts
+
+    # -- gossip driver ---------------------------------------------------
+    def init_replicas(self) -> np.ndarray:
+        """One model replica per user, all cloned from the seed model."""
+        self.replicas = np.tile(
+            self.model.get_weights(), (len(self.users), 1)
+        )
+        return self.replicas
+
+    def run_gossip_round(self) -> None:
+        """One decentralized round: local SGD then one gossip step."""
+        if self.replicas is None:
+            self.init_replicas()
+        mixer = self.strategy
+        if not hasattr(mixer, "mix"):
+            raise TypeError(
+                "the gossip driver needs a strategy with a mix() step"
+            )
+        round_idx = self.round_idx + 1
+        times = np.zeros(len(self.users))
+        for j, user in enumerate(self.users):
+            if user.size == 0:
+                continue
+            self.bus.emit(
+                ClientDispatched(
+                    round_idx=round_idx,
+                    client_id=j,
+                    n_samples=user.size,
+                    time_s=self.clock_s,
+                )
+            )
+            if self.devices is not None:
+                times[j] = self.client_compute_time(
+                    j, epochs=self.local_epochs
+                )
+            result = self._train_client(
+                j, self.replicas[j], epochs=self.local_epochs
+            )
+            self.replicas[j] = result.weights
+            self.bus.emit(
+                ClientFinished(
+                    round_idx=round_idx,
+                    client_id=j,
+                    compute_s=float(times[j]),
+                    comm_s=0.0,
+                    total_s=float(times[j]),
+                    time_s=self.clock_s + times[j],
+                )
+            )
+        # Gossip: every replica mixes with its neighbours.
+        self.replicas = mixer.mix(self.replicas)
+        self.round_idx += 1
+        trained = [j for j, u in enumerate(self.users) if u.size > 0]
+        makespan = float(times.max()) if self.devices is not None else 0.0
+        self.clock_s += makespan
+        self.bus.emit(
+            ModelAggregated(
+                round_idx=self.round_idx,
+                participants=tuple(trained),
+                strategy=mixer.name,
+                version=self.round_idx,
+                time_s=self.clock_s,
+            )
+        )
+        self.bus.emit(
+            RoundCompleted(
+                round_idx=self.round_idx,
+                makespan_s=makespan,
+                mean_time_s=(
+                    float(times[trained].mean()) if trained else 0.0
+                ),
+                participant_count=len(trained),
+                accuracy=None,
+                time_s=self.clock_s,
+            )
+        )
+
+    def replica_accuracy(self, j: int) -> float:
+        """Test accuracy of one node's replica."""
+        if self.replicas is None:
+            raise RuntimeError("no replicas initialised")
+        self._scratch.set_weights(self.replicas[j])
+        return evaluate_accuracy(
+            self._scratch, self.dataset.x_test, self.dataset.y_test
+        )
+
+    def consensus_distance(self) -> float:
+        """Mean L2 distance of replicas from their average — 0 at full
+        consensus."""
+        if self.replicas is None:
+            raise RuntimeError("no replicas initialised")
+        mean = self.replicas.mean(axis=0)
+        return float(
+            np.linalg.norm(self.replicas - mean, axis=1).mean()
+        )

@@ -1,0 +1,162 @@
+"""Typed event stream emitted by the :class:`~repro.engine.RoundEngine`.
+
+Every simulation mode (synchronous FedAvg, staleness-weighted async,
+decentralized gossip) drives the same engine, and the engine narrates
+its work as a stream of typed events. Consumers subscribe to an
+:class:`EventBus`: the telemetry layer turns the stream into structured
+records, tests assert on exact sequences, and future schedulers can
+react to drops or stragglers online.
+
+Event taxonomy (one dataclass per kind):
+
+* :class:`ClientDispatched` — a client was handed the current model and
+  started its local workload;
+* :class:`ClientFinished` — the client completed compute (+ comm) and
+  its update is available;
+* :class:`ClientDropped` — a straggler missed the round deadline and
+  its update was discarded;
+* :class:`ModelAggregated` — the aggregation strategy merged client
+  updates into a new model (or gossip mixing ran);
+* :class:`RoundCompleted` — a barrier round closed with its makespan
+  and bookkeeping.
+
+All events are frozen dataclasses with a stable ``kind`` string and a
+``to_dict`` JSON-safe serialisation used by the JSON-lines sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, ClassVar, List, Optional, Tuple
+
+__all__ = [
+    "EngineEvent",
+    "ClientDispatched",
+    "ClientFinished",
+    "ClientDropped",
+    "ModelAggregated",
+    "RoundCompleted",
+    "EventBus",
+]
+
+
+class EngineEvent:
+    """Base class for all engine events."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload: ``{"event": kind, ...fields}``."""
+        payload = {"event": self.kind}
+        for key, value in asdict(self).items():
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[key] = value
+        return payload
+
+
+@dataclass(frozen=True)
+class ClientDispatched(EngineEvent):
+    """A client pulled the model and started its local workload."""
+
+    kind: ClassVar[str] = "client_dispatched"
+
+    round_idx: int
+    client_id: int
+    n_samples: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class ClientFinished(EngineEvent):
+    """A client finished local compute (+ communication)."""
+
+    kind: ClassVar[str] = "client_finished"
+
+    round_idx: int
+    client_id: int
+    compute_s: float
+    comm_s: float
+    total_s: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class ClientDropped(EngineEvent):
+    """A straggler missed the round deadline; its update is discarded."""
+
+    kind: ClassVar[str] = "client_dropped"
+
+    round_idx: int
+    client_id: int
+    total_s: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class ModelAggregated(EngineEvent):
+    """The aggregation strategy produced a new (global or mixed) model."""
+
+    kind: ClassVar[str] = "model_aggregated"
+
+    round_idx: int
+    participants: Tuple[int, ...]
+    strategy: str
+    version: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class RoundCompleted(EngineEvent):
+    """A barrier round closed."""
+
+    kind: ClassVar[str] = "round_completed"
+
+    round_idx: int
+    makespan_s: float
+    mean_time_s: float
+    participant_count: int
+    accuracy: Optional[float]
+    time_s: float
+
+
+Listener = Callable[[EngineEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of engine events to subscribed listeners.
+
+    Besides per-bus listeners there is a process-wide listener list so a
+    telemetry sink can capture every engine created while it is active
+    (how ``repro run … --telemetry out.jsonl`` taps experiments that
+    build their simulations internally).
+    """
+
+    _global_listeners: ClassVar[List[Listener]] = []
+
+    def __init__(self) -> None:
+        self._listeners: List[Listener] = []
+
+    def subscribe(self, listener: Listener) -> Callable[[], None]:
+        """Register a listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def emit(self, event: EngineEvent) -> None:
+        for listener in (*self._listeners, *EventBus._global_listeners):
+            listener(event)
+
+    # -- process-wide listeners -----------------------------------------
+    @classmethod
+    def add_global_listener(cls, listener: Listener) -> None:
+        cls._global_listeners.append(listener)
+
+    @classmethod
+    def remove_global_listener(cls, listener: Listener) -> None:
+        if listener in cls._global_listeners:
+            cls._global_listeners.remove(listener)

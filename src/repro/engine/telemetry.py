@@ -1,0 +1,259 @@
+"""Structured telemetry over the engine's event stream.
+
+Two consumers are provided:
+
+* :class:`JsonlSink` — appends every event as one JSON line (the
+  ``repro run … --telemetry out.jsonl`` format);
+* :class:`TelemetryAggregator` — folds the stream into per-round
+  structured records (round bookkeeping + per-client rows), the
+  replacement for ad-hoc round bookkeeping.
+
+Either can be subscribed to a single engine's bus, or installed
+process-wide with :func:`record_telemetry` so experiments that build
+their simulations internally are captured too.
+
+The legacy :class:`RoundRecord` / :class:`ConvergenceHistory`
+containers also live here (``repro.federated.metrics`` re-exports
+them): they are the in-memory view the paper-facing experiments consume
+and the reference the telemetry stream is tested against — per-round
+makespans in the stream must equal the history's makespans.
+
+JSON-lines schema: every line is ``{"event": <kind>, ...}`` where the
+remaining keys are the fields of the corresponding event dataclass in
+:mod:`repro.engine.events`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from .events import (
+    ClientDispatched,
+    ClientDropped,
+    ClientFinished,
+    EngineEvent,
+    EventBus,
+    ModelAggregated,
+    RoundCompleted,
+)
+
+__all__ = [
+    "RoundRecord",
+    "ConvergenceHistory",
+    "JsonlSink",
+    "TelemetryAggregator",
+    "record_telemetry",
+    "read_jsonl",
+]
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about one synchronous FL round."""
+
+    round_idx: int
+    makespan_s: float
+    mean_time_s: float
+    accuracy: Optional[float]
+    participant_count: int
+    per_user_time_s: np.ndarray
+
+
+@dataclass
+class ConvergenceHistory:
+    """Accumulated per-round records of an FL run."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall-clock (virtual) time of the whole run: rounds are
+        synchronous, so their makespans add up."""
+        return float(sum(r.makespan_s for r in self.records))
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        for r in reversed(self.records):
+            if r.accuracy is not None:
+                return r.accuracy
+        return None
+
+    def accuracies(self) -> List[float]:
+        return [r.accuracy for r in self.records if r.accuracy is not None]
+
+    def makespans(self) -> List[float]:
+        return [r.makespan_s for r in self.records]
+
+    def mean_makespan_s(self) -> float:
+        ms = self.makespans()
+        return float(np.mean(ms)) if ms else 0.0
+
+    def to_csv(self, path) -> None:
+        """Write the per-round records as CSV for external analysis."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                [
+                    "round",
+                    "makespan_s",
+                    "mean_time_s",
+                    "participants",
+                    "accuracy",
+                ]
+            )
+            for r in self.records:
+                writer.writerow(
+                    [
+                        r.round_idx,
+                        f"{r.makespan_s:.3f}",
+                        f"{r.mean_time_s:.3f}",
+                        r.participant_count,
+                        "" if r.accuracy is None else f"{r.accuracy:.4f}",
+                    ]
+                )
+
+
+class JsonlSink:
+    """Stream events to a JSON-lines file (one event per line)."""
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            parent = Path(target).parent
+            if parent and not parent.exists():
+                parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(target, "w")
+            self._owns = True
+        self.n_events = 0
+
+    def __call__(self, event: EngineEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self.n_events += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path) -> List[dict]:
+    """Parse a telemetry JSON-lines file back into event dicts."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class TelemetryAggregator:
+    """Fold the event stream into per-round structured records.
+
+    Each completed round yields one dict::
+
+        {"round": int, "makespan_s": float, "mean_time_s": float,
+         "participant_count": int, "accuracy": float | None,
+         "clients": [{"client": int, "compute_s": ..., "comm_s": ...,
+                      "total_s": ..., "dropped": bool}, ...]}
+
+    ``rounds`` accumulates them; ``events`` keeps the raw stream;
+    ``counts()`` tallies events by kind.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[EngineEvent] = []
+        self.rounds: List[Dict[str, object]] = []
+        self._pending_clients: List[Dict[str, object]] = []
+
+    def __call__(self, event: EngineEvent) -> None:
+        self.events.append(event)
+        if isinstance(event, ClientFinished):
+            self._pending_clients.append(
+                {
+                    "client": event.client_id,
+                    "compute_s": event.compute_s,
+                    "comm_s": event.comm_s,
+                    "total_s": event.total_s,
+                    "dropped": False,
+                }
+            )
+        elif isinstance(event, ClientDropped):
+            for row in self._pending_clients:
+                if row["client"] == event.client_id:
+                    row["dropped"] = True
+        elif isinstance(event, RoundCompleted):
+            self.rounds.append(
+                {
+                    "round": event.round_idx,
+                    "makespan_s": event.makespan_s,
+                    "mean_time_s": event.mean_time_s,
+                    "participant_count": event.participant_count,
+                    "accuracy": event.accuracy,
+                    "clients": self._pending_clients,
+                }
+            )
+            self._pending_clients = []
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def round_makespans(self) -> List[float]:
+        return [float(r["makespan_s"]) for r in self.rounds]
+
+    def dispatch_count(self) -> int:
+        return sum(
+            1 for e in self.events if isinstance(e, ClientDispatched)
+        )
+
+    def aggregation_count(self) -> int:
+        return sum(
+            1 for e in self.events if isinstance(e, ModelAggregated)
+        )
+
+
+@contextmanager
+def record_telemetry(
+    path=None,
+) -> Iterator[TelemetryAggregator]:
+    """Capture every engine event emitted while the context is active.
+
+    Installs a process-wide listener (every :class:`EventBus` forwards
+    to it), optionally streaming the raw events to ``path`` as JSON
+    lines, and yields an in-memory :class:`TelemetryAggregator`.
+    """
+    aggregator = TelemetryAggregator()
+    sink = JsonlSink(path) if path is not None else None
+    EventBus.add_global_listener(aggregator)
+    if sink is not None:
+        EventBus.add_global_listener(sink)
+    try:
+        yield aggregator
+    finally:
+        EventBus.remove_global_listener(aggregator)
+        if sink is not None:
+            EventBus.remove_global_listener(sink)
+            sink.close()

@@ -1,0 +1,128 @@
+"""Communication topologies for the round engine.
+
+Two shapes cover every mode in this repo:
+
+* :class:`StarTopology` — all clients talk to one aggregation point
+  (the parameter server of synchronous and asynchronous FL);
+* :class:`PeerGraph` — a connected gossip graph with a Metropolis-
+  Hastings doubly-stochastic mixing matrix (decentralized D-PSGD).
+
+The graph generators and the Metropolis weights moved here from
+``repro.federated.decentralized`` (which re-exports them) so topology
+construction lives next to the engine that consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "make_topology",
+    "metropolis_weights",
+    "Topology",
+    "StarTopology",
+    "PeerGraph",
+]
+
+
+def make_topology(
+    kind: str, n: int, rng: Optional[np.random.Generator] = None
+) -> nx.Graph:
+    """Build a gossip topology: ``"ring"``, ``"complete"`` or
+    ``"random"`` (3-regular when possible, ring fallback)."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if kind == "ring":
+        return nx.cycle_graph(n)
+    if kind == "complete":
+        return nx.complete_graph(n)
+    if kind == "random":
+        rng = rng or np.random.default_rng(0)
+        d = min(3, n - 1)
+        if (d * n) % 2 == 1:
+            d -= 1
+        if d < 1:
+            return nx.cycle_graph(n)
+        seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.random_regular_graph(d, n, seed=seed)
+        if not nx.is_connected(g):
+            g = nx.cycle_graph(n)
+        return g
+    raise KeyError(f"unknown topology {kind!r}")
+
+
+def metropolis_weights(graph: nx.Graph) -> np.ndarray:
+    """Doubly-stochastic Metropolis-Hastings mixing matrix.
+
+    ``W[i, j] = 1 / (1 + max(deg_i, deg_j))`` for edges, diagonal takes
+    the slack. Guarantees average-consensus convergence on connected
+    graphs.
+    """
+    n = graph.number_of_nodes()
+    w = np.zeros((n, n))
+    deg = dict(graph.degree())
+    for i, j in graph.edges():
+        w_ij = 1.0 / (1.0 + max(deg[i], deg[j]))
+        w[i, j] = w_ij
+        w[j, i] = w_ij
+    for i in range(n):
+        w[i, i] = 1.0 - w[i].sum()
+    return w
+
+
+class Topology:
+    """Base class: who exchanges models with whom."""
+
+    kind: str = "topology"
+
+    @property
+    def n_nodes(self) -> int:
+        raise NotImplementedError
+
+    def neighbors(self, j: int) -> List[int]:
+        raise NotImplementedError
+
+
+class StarTopology(Topology):
+    """Server-centric topology: every client's only peer is the
+    aggregation point (represented as node ``-1``)."""
+
+    kind = "star"
+
+    SERVER = -1
+
+    def __init__(self, n_clients: int) -> None:
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        self._n = n_clients
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, j: int) -> List[int]:
+        if not 0 <= j < self._n:
+            raise IndexError(f"client {j} out of range")
+        return [self.SERVER]
+
+
+class PeerGraph(Topology):
+    """Server-less topology over a connected gossip graph."""
+
+    kind = "peer_graph"
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if not nx.is_connected(graph):
+            raise ValueError("gossip graph must be connected")
+        self.graph = graph
+        self.mixing = metropolis_weights(graph)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbors(self, j: int) -> List[int]:
+        return sorted(self.graph.neighbors(j))

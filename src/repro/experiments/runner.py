@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "summarize_telemetry"]
 
 
 def _fmt(v: object) -> str:
@@ -74,3 +74,22 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.to_table()
+
+
+def summarize_telemetry(aggregator, since_event: int = 0) -> str:
+    """One-line summary of an engine telemetry capture.
+
+    ``aggregator`` is a :class:`repro.engine.telemetry.TelemetryAggregator`;
+    ``since_event`` lets the CLI report per-experiment deltas when one
+    capture spans several experiments.
+    """
+    events = aggregator.events[since_event:]
+    kinds = {}
+    for e in events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    rounds = kinds.get("round_completed", 0)
+    dispatches = kinds.get("client_dispatched", 0)
+    return (
+        f"telemetry: {len(events)} events "
+        f"({dispatches} dispatches, {rounds} rounds completed)"
+    )

@@ -10,19 +10,21 @@ against the same device simulator:
   round barrier, stragglers never block anyone;
 * when a client finishes a local epoch it pushes its model; the server
   mixes it into the global model with a staleness-decayed weight
-  ``eta = base_mix / (1 + staleness)`` where staleness counts global
-  updates applied since the client last pulled;
+  (``constant`` / ``hinge`` / ``poly`` decay, the FedAsync family; the
+  default ``poly`` with ``a = 1`` is the classic
+  ``eta = base_mix / (1 + staleness)``);
 * the client then pulls the fresh global model and starts over.
 
-The event loop is a simple priority queue over completion times; device
-thermal state persists across a client's successive epochs (sustained
-load — exactly the regime where stragglers throttle).
+Execution is delegated to the shared :class:`repro.engine.RoundEngine`
+(async driver, :class:`~repro.engine.aggregation.StalenessWeighted`
+strategy): the event loop is a priority queue over completion times,
+and device thermal state persists across a client's successive epochs
+(sustained load — exactly the regime where stragglers throttle).
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -30,11 +32,10 @@ import numpy as np
 from ..data.partition import UserData
 from ..data.synthetic import Dataset
 from ..device.device import MobileDevice
-from ..device.workload import TrainingWorkload
-from ..models.flops import model_training_flops
+from ..engine.aggregation import StalenessWeighted
+from ..engine.engine import AsyncUpdate, RoundEngine
+from ..engine.events import EventBus
 from ..models.network import Sequential
-from .client import train_local
-from .metrics import evaluate_accuracy
 
 __all__ = ["AsyncConfig", "AsyncUpdate", "AsyncFederatedSimulation"]
 
@@ -48,6 +49,12 @@ class AsyncConfig:
     momentum: float = 0.9
     #: mixing weight at staleness 0
     base_mix: float = 0.6
+    #: staleness-decay family: "constant", "hinge" or "poly" (FedAsync)
+    staleness_decay: str = "poly"
+    #: decay exponent (poly) / slope (hinge)
+    decay_a: float = 1.0
+    #: hinge knee: no decay up to this staleness
+    decay_b: float = 10.0
     #: evaluate the global model every k applied updates
     eval_every_updates: int = 5
     seed: int = 0
@@ -55,23 +62,27 @@ class AsyncConfig:
     def __post_init__(self) -> None:
         if not 0 < self.base_mix <= 1:
             raise ValueError("base_mix must be in (0, 1]")
+        if self.staleness_decay not in StalenessWeighted.DECAYS:
+            raise ValueError(
+                f"staleness_decay must be one of "
+                f"{StalenessWeighted.DECAYS}"
+            )
         if self.eval_every_updates <= 0:
             raise ValueError("eval_every_updates must be positive")
 
-
-@dataclass
-class AsyncUpdate:
-    """One applied asynchronous update."""
-
-    time_s: float
-    user_id: int
-    staleness: int
-    mix: float
-    accuracy: Optional[float]
+    def strategy(self) -> StalenessWeighted:
+        """The engine aggregation strategy this config describes."""
+        return StalenessWeighted(
+            base_mix=self.base_mix,
+            decay=self.staleness_decay,
+            a=self.decay_a,
+            b=self.decay_b,
+        )
 
 
 class AsyncFederatedSimulation:
-    """Event-driven asynchronous FL over simulated devices."""
+    """Event-driven asynchronous FL over simulated devices — a thin
+    façade over the shared engine's async driver."""
 
     def __init__(
         self,
@@ -86,76 +97,59 @@ class AsyncFederatedSimulation:
         active = [u for u in users if u.size > 0]
         if not active:
             raise ValueError("no user holds any data")
-        self.dataset = dataset
-        self.model = model
-        self.users = list(users)
-        self.devices = list(devices)
         self.config = config or AsyncConfig()
-        self._flops = model_training_flops(model)
-        self._scratch = model.clone()
-        self._rng = np.random.default_rng(self.config.seed)
-        #: model version each client last pulled
-        self._pulled_version = [0] * len(self.users)
-        #: weights each client started its current epoch from
-        self._start_weights: List[Optional[np.ndarray]] = [
-            None
-        ] * len(self.users)
-        self.version = 0
-        self.updates: List[AsyncUpdate] = []
-        self.clock_s = 0.0
-
-    # -- internals -------------------------------------------------------
-    def _epoch_time(self, j: int) -> float:
-        """Virtual seconds for user j's next local epoch (device state
-        persists: continuous training heats the device)."""
-        workload = TrainingWorkload(
-            flops_per_sample=self._flops,
-            n_samples=self.users[j].size,
-            batch_size=self.config.batch_size,
-            model_name=self.model.name,
-        )
-        return self.devices[j].run_workload(
-            workload, record=False
-        ).total_time_s
-
-    def _start_epoch(self, j: int) -> float:
-        self._pulled_version[j] = self.version
-        self._start_weights[j] = self.model.get_weights()
-        return self._epoch_time(j)
-
-    def _apply_update(self, j: int, time_s: float) -> AsyncUpdate:
         cfg = self.config
-        x, y = self.dataset.subset(self.users[j].indices)
-        self._scratch.set_weights(self._start_weights[j])
-        result = train_local(
-            self._scratch,
-            x,
-            y,
-            epochs=1,
+        self.engine = RoundEngine(
+            dataset,
+            model,
+            users,
+            strategy=cfg.strategy(),
+            devices=devices,
             batch_size=cfg.batch_size,
             lr=cfg.lr,
             momentum=cfg.momentum,
-            rng=self._rng,
+            eval_every_updates=cfg.eval_every_updates,
+            seed=cfg.seed,
         )
-        staleness = self.version - self._pulled_version[j]
-        mix = cfg.base_mix / (1.0 + staleness)
-        new = (1.0 - mix) * self.model.get_weights() + mix * result.weights
-        self.model.set_weights(new)
-        self.version += 1
-        accuracy = None
-        if self.version % cfg.eval_every_updates == 0:
-            accuracy = evaluate_accuracy(
-                self.model, self.dataset.x_test, self.dataset.y_test
-            )
-        update = AsyncUpdate(
-            time_s=time_s,
-            user_id=j,
-            staleness=staleness,
-            mix=mix,
-            accuracy=accuracy,
-        )
-        self.updates.append(update)
-        return update
+
+    # -- engine views ----------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.engine.dataset
+
+    @property
+    def model(self) -> Sequential:
+        return self.engine.model
+
+    @property
+    def users(self) -> List[UserData]:
+        return self.engine.users
+
+    @property
+    def devices(self) -> List[MobileDevice]:
+        return self.engine.devices
+
+    @property
+    def version(self) -> int:
+        return self.engine.version
+
+    @property
+    def updates(self) -> List[AsyncUpdate]:
+        return self.engine.updates
+
+    @property
+    def clock_s(self) -> float:
+        return self.engine.clock_s
+
+    @property
+    def events(self) -> EventBus:
+        """The engine's typed event stream (subscribe for telemetry)."""
+        return self.engine.bus
+
+    def _epoch_time(self, j: int) -> float:
+        """Virtual seconds for user j's next local epoch (device state
+        persists: continuous training heats the device)."""
+        return self.engine.epoch_time(j)
 
     # -- entry point -----------------------------------------------------
     def run(self, horizon_s: float) -> List[AsyncUpdate]:
@@ -166,37 +160,12 @@ class AsyncFederatedSimulation:
         had not completed by the previous horizon are *restarted* (the
         scheduler re-pulls the current global model), not continued.
         """
-        if horizon_s <= 0:
-            raise ValueError("horizon_s must be positive")
-        start_count = len(self.updates)
-        heap: List = []
-        for j, user in enumerate(self.users):
-            if user.size == 0:
-                continue
-            finish = self.clock_s + self._start_epoch(j)
-            heapq.heappush(heap, (finish, j))
-        end = self.clock_s + horizon_s
-        while heap:
-            finish, j = heapq.heappop(heap)
-            if finish > end:
-                # Client finishes beyond the horizon; stop here.
-                self.clock_s = end
-                break
-            self.clock_s = finish
-            self._apply_update(j, finish)
-            next_finish = finish + self._start_epoch(j)
-            heapq.heappush(heap, (next_finish, j))
-        return self.updates[start_count:]
+        return self.engine.run_async(horizon_s)
 
     def final_accuracy(self) -> float:
-        return evaluate_accuracy(
-            self.model, self.dataset.x_test, self.dataset.y_test
-        )
+        return self.engine.final_accuracy()
 
     def update_counts(self) -> np.ndarray:
         """Applied updates per user — fast devices dominate, the
         imbalance behind async's bias/divergence risk."""
-        counts = np.zeros(len(self.users), dtype=np.int64)
-        for u in self.updates:
-            counts[u.user_id] += 1
-        return counts
+        return self.engine.update_counts()

@@ -9,8 +9,11 @@ data-size schedules (Fed-LBAP / Fed-MinAvg allocations) plug in
 unchanged — scheduling and topology are orthogonal, which is precisely
 the amenability claim.
 
-Built on networkx for the topology; ring, complete and random-regular
-generators are provided.
+Execution is delegated to the shared :class:`repro.engine.RoundEngine`
+(gossip driver, :class:`~repro.engine.aggregation.GossipAverage`
+strategy over a :class:`~repro.engine.topology.PeerGraph`); the graph
+generators and Metropolis weights live in
+:mod:`repro.engine.topology` and are re-exported here.
 """
 
 from __future__ import annotations
@@ -23,9 +26,11 @@ import numpy as np
 
 from ..data.partition import UserData
 from ..data.synthetic import Dataset
+from ..engine.aggregation import GossipAverage
+from ..engine.engine import RoundEngine
+from ..engine.events import EventBus
+from ..engine.topology import PeerGraph, make_topology, metropolis_weights
 from ..models.network import Sequential
-from .client import train_local
-from .metrics import evaluate_accuracy
 
 __all__ = [
     "make_topology",
@@ -33,51 +38,6 @@ __all__ = [
     "DecentralizedConfig",
     "DecentralizedSimulation",
 ]
-
-
-def make_topology(
-    kind: str, n: int, rng: Optional[np.random.Generator] = None
-) -> nx.Graph:
-    """Build a gossip topology: ``"ring"``, ``"complete"`` or
-    ``"random"`` (3-regular when possible, ring fallback)."""
-    if n < 2:
-        raise ValueError("need at least two nodes")
-    if kind == "ring":
-        return nx.cycle_graph(n)
-    if kind == "complete":
-        return nx.complete_graph(n)
-    if kind == "random":
-        rng = rng or np.random.default_rng(0)
-        d = min(3, n - 1)
-        if (d * n) % 2 == 1:
-            d -= 1
-        if d < 1:
-            return nx.cycle_graph(n)
-        seed = int(rng.integers(0, 2**31 - 1))
-        g = nx.random_regular_graph(d, n, seed=seed)
-        if not nx.is_connected(g):
-            g = nx.cycle_graph(n)
-        return g
-    raise KeyError(f"unknown topology {kind!r}")
-
-
-def metropolis_weights(graph: nx.Graph) -> np.ndarray:
-    """Doubly-stochastic Metropolis-Hastings mixing matrix.
-
-    ``W[i, j] = 1 / (1 + max(deg_i, deg_j))`` for edges, diagonal takes
-    the slack. Guarantees average-consensus convergence on connected
-    graphs.
-    """
-    n = graph.number_of_nodes()
-    w = np.zeros((n, n))
-    deg = dict(graph.degree())
-    for i, j in graph.edges():
-        w_ij = 1.0 / (1.0 + max(deg[i], deg[j]))
-        w[i, j] = w_ij
-        w[j, i] = w_ij
-    for i in range(n):
-        w[i, i] = 1.0 - w[i].sum()
-    return w
 
 
 @dataclass
@@ -108,45 +68,58 @@ class DecentralizedSimulation:
     ) -> None:
         if graph.number_of_nodes() != len(users):
             raise ValueError("graph must have one node per user")
-        if not nx.is_connected(graph):
-            raise ValueError("gossip graph must be connected")
+        topology = PeerGraph(graph)
         if not any(u.size > 0 for u in users):
             raise ValueError("no user holds any data")
-        self.dataset = dataset
-        self.users = list(users)
-        self.graph = graph
-        self.mixing = metropolis_weights(graph)
         self.config = config or DecentralizedConfig()
-        self._scratch = model.clone()
-        #: one replica per node, all initialised from the seed model
-        self.replicas = np.tile(
-            model.get_weights(), (len(users), 1)
+        cfg = self.config
+        self.graph = graph
+        self.mixing = topology.mixing
+        self.engine = RoundEngine(
+            dataset,
+            model,
+            users,
+            strategy=GossipAverage(topology.mixing),
+            topology=topology,
+            batch_size=cfg.batch_size,
+            local_epochs=cfg.local_epochs,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            seed=cfg.seed,
         )
-        self._rng = np.random.default_rng(self.config.seed)
-        self.round_idx = 0
+        self.engine.init_replicas()
 
+    # -- engine views ----------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.engine.dataset
+
+    @property
+    def users(self) -> List[UserData]:
+        return self.engine.users
+
+    @property
+    def replicas(self) -> np.ndarray:
+        """One weight-vector row per node (mutable engine state)."""
+        return self.engine.replicas
+
+    @replicas.setter
+    def replicas(self, value: np.ndarray) -> None:
+        self.engine.replicas = value
+
+    @property
+    def round_idx(self) -> int:
+        return self.engine.round_idx
+
+    @property
+    def events(self) -> EventBus:
+        """The engine's typed event stream (subscribe for telemetry)."""
+        return self.engine.bus
+
+    # -- entry points ----------------------------------------------------
     def run_round(self) -> None:
         """One decentralized round: local SGD then one gossip step."""
-        cfg = self.config
-        for j, user in enumerate(self.users):
-            if user.size == 0:
-                continue
-            x, y = self.dataset.subset(user.indices)
-            self._scratch.set_weights(self.replicas[j])
-            result = train_local(
-                self._scratch,
-                x,
-                y,
-                epochs=cfg.local_epochs,
-                batch_size=cfg.batch_size,
-                lr=cfg.lr,
-                momentum=cfg.momentum,
-                rng=self._rng,
-            )
-            self.replicas[j] = result.weights
-        # Gossip: every replica mixes with its neighbours.
-        self.replicas = self.mixing @ self.replicas
-        self.round_idx += 1
+        self.engine.run_gossip_round()
 
     def run(self, n_rounds: int) -> None:
         if n_rounds <= 0:
@@ -157,17 +130,11 @@ class DecentralizedSimulation:
     def consensus_distance(self) -> float:
         """Mean L2 distance of replicas from their average — 0 at full
         consensus."""
-        mean = self.replicas.mean(axis=0)
-        return float(
-            np.linalg.norm(self.replicas - mean, axis=1).mean()
-        )
+        return self.engine.consensus_distance()
 
     def node_accuracy(self, j: int) -> float:
         """Test accuracy of one node's replica."""
-        self._scratch.set_weights(self.replicas[j])
-        return evaluate_accuracy(
-            self._scratch, self.dataset.x_test, self.dataset.y_test
-        )
+        return self.engine.replica_accuracy(j)
 
     def mean_accuracy(self) -> float:
         """Average test accuracy over all node replicas."""

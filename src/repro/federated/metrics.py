@@ -1,103 +1,14 @@
-"""Evaluation metrics and convergence bookkeeping."""
+"""Evaluation metrics and convergence bookkeeping.
+
+The containers live in :mod:`repro.engine.telemetry` (the engine's
+telemetry layer produces them from the event stream) and the evaluator
+in :mod:`repro.engine.execution`; this module re-exports them under the
+historical API.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
-
-import numpy as np
-
-from ..models.network import Sequential
+from ..engine.execution import evaluate_accuracy
+from ..engine.telemetry import ConvergenceHistory, RoundRecord
 
 __all__ = ["evaluate_accuracy", "RoundRecord", "ConvergenceHistory"]
-
-
-def evaluate_accuracy(
-    model: Sequential,
-    x: np.ndarray,
-    y: np.ndarray,
-    batch_size: int = 256,
-) -> float:
-    """Top-1 accuracy of a model on a labelled set, evaluated in batches
-    to bound peak memory on the conv models."""
-    n = x.shape[0]
-    if n == 0:
-        raise ValueError("empty evaluation set")
-    correct = 0
-    for start in range(0, n, batch_size):
-        logits = model.forward(x[start : start + batch_size], training=False)
-        correct += int(
-            (logits.argmax(axis=1) == y[start : start + batch_size]).sum()
-        )
-    return correct / n
-
-
-@dataclass
-class RoundRecord:
-    """Everything recorded about one synchronous FL round."""
-
-    round_idx: int
-    makespan_s: float
-    mean_time_s: float
-    accuracy: Optional[float]
-    participant_count: int
-    per_user_time_s: np.ndarray
-
-
-@dataclass
-class ConvergenceHistory:
-    """Accumulated per-round records of an FL run."""
-
-    records: List[RoundRecord] = field(default_factory=list)
-
-    def append(self, record: RoundRecord) -> None:
-        self.records.append(record)
-
-    @property
-    def total_time_s(self) -> float:
-        """Wall-clock (virtual) time of the whole run: rounds are
-        synchronous, so their makespans add up."""
-        return float(sum(r.makespan_s for r in self.records))
-
-    @property
-    def final_accuracy(self) -> Optional[float]:
-        for r in reversed(self.records):
-            if r.accuracy is not None:
-                return r.accuracy
-        return None
-
-    def accuracies(self) -> List[float]:
-        return [r.accuracy for r in self.records if r.accuracy is not None]
-
-    def makespans(self) -> List[float]:
-        return [r.makespan_s for r in self.records]
-
-    def mean_makespan_s(self) -> float:
-        ms = self.makespans()
-        return float(np.mean(ms)) if ms else 0.0
-
-    def to_csv(self, path) -> None:
-        """Write the per-round records as CSV for external analysis."""
-        import csv
-
-        with open(path, "w", newline="") as fh:
-            writer = csv.writer(fh)
-            writer.writerow(
-                [
-                    "round",
-                    "makespan_s",
-                    "mean_time_s",
-                    "participants",
-                    "accuracy",
-                ]
-            )
-            for r in self.records:
-                writer.writerow(
-                    [
-                        r.round_idx,
-                        f"{r.makespan_s:.3f}",
-                        f"{r.mean_time_s:.3f}",
-                        r.participant_count,
-                        "" if r.accuracy is None else f"{r.accuracy:.4f}",
-                    ]
-                )

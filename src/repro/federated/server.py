@@ -4,50 +4,22 @@ McMahan et al.'s FedAvg [2] — the synchronous aggregation every
 experiment in the paper builds on: the server pushes the global model,
 clients train locally, and the server replaces the global weights with
 the sample-count-weighted average of the returned models.
+
+The weighted average itself lives in
+:mod:`repro.engine.aggregation` (shared with the gossip mixing path)
+and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from ..engine.aggregation import fedavg_aggregate
 from ..models.network import Sequential
 
 __all__ = ["fedavg_aggregate", "ParameterServer"]
-
-
-def fedavg_aggregate(
-    weight_vectors: Sequence[np.ndarray],
-    sample_counts: Sequence[int],
-) -> np.ndarray:
-    """Weighted average of client weight vectors.
-
-    Weights are the clients' local sample counts, as in FedAvg. Clients
-    with zero samples are ignored; at least one client must have data.
-    """
-    if len(weight_vectors) != len(sample_counts):
-        raise ValueError("one sample count per weight vector required")
-    counts = np.asarray(sample_counts, dtype=np.float64)
-    if (counts < 0).any():
-        raise ValueError("sample counts must be non-negative")
-    active = counts > 0
-    if not active.any():
-        raise ValueError("no client contributed samples")
-    vecs = [
-        np.asarray(w)
-        for w, keep in zip(weight_vectors, active)
-        if keep
-    ]
-    shapes = {v.shape for v in vecs}
-    if len(shapes) != 1:
-        raise ValueError(f"inconsistent weight shapes: {shapes}")
-    w = counts[active]
-    w = w / w.sum()
-    out = np.zeros_like(vecs[0])
-    for wi, v in zip(w, vecs):
-        out += wi * v
-    return out
 
 
 class ParameterServer:

@@ -15,6 +15,11 @@ The round structure matches Sec. VII: every participant performs one
 local epoch per round; the server waits for the slowest participant
 (synchronous FedAvg), so the round's wall time is the makespan; faster
 devices idle (and cool down) until the next round starts.
+
+Execution is delegated to the shared :class:`repro.engine.RoundEngine`
+(sync driver, :class:`~repro.engine.aggregation.SyncFedAvg` strategy,
+star topology); this class is a thin façade preserving the historical
+API. Subscribe to ``sim.events`` for the typed event stream.
 """
 
 from __future__ import annotations
@@ -22,19 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from ..data.partition import UserData
 from ..data.synthetic import Dataset
 from ..device.device import MobileDevice
-from ..device.workload import TrainingWorkload
-from ..models.flops import model_training_flops
+from ..engine.aggregation import SyncFedAvg
+from ..engine.engine import RoundEngine
+from ..engine.events import EventBus
+from ..engine.telemetry import ConvergenceHistory, RoundRecord
 from ..models.network import Sequential
 from ..network.link import Link
-from ..network.transfer import round_comm_cost
-from .client import train_local
-from .dropout import DropoutPolicy, apply_deadline
-from .metrics import ConvergenceHistory, RoundRecord, evaluate_accuracy
+from .dropout import DropoutPolicy
 from .server import ParameterServer
 
 __all__ = ["SimulationConfig", "FederatedSimulation"]
@@ -62,8 +64,12 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.local_epochs <= 0:
             raise ValueError("batch_size and local_epochs must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.aggregation_s < 0:
+            raise ValueError("aggregation_s must be non-negative")
         if not 0.0 <= self.min_soc < 1.0:
             raise ValueError("min_soc must be in [0, 1)")
 
@@ -102,143 +108,70 @@ class FederatedSimulation:
         config: Optional[SimulationConfig] = None,
         dropout: Optional[DropoutPolicy] = None,
     ) -> None:
-        if devices is not None and len(devices) != len(users):
-            raise ValueError("one device per user required")
-        if links is not None and len(links) != len(users):
-            raise ValueError("one link per user required")
-        self.dataset = dataset
-        self.users = list(users)
-        if not self.users:
-            raise ValueError("need at least one user")
-        self.devices = list(devices) if devices is not None else None
-        self.links = list(links) if links is not None else None
-        if dropout is not None and devices is None:
-            raise ValueError(
-                "straggler dropout needs devices (deadlines are defined "
-                "over simulated round times)"
-            )
-        self.dropout = dropout
         self.config = config or SimulationConfig()
-        self.server = ParameterServer(model)
-        self._scratch = model.clone()
-        self._flops = model_training_flops(model)
-        self._rng = np.random.default_rng(self.config.seed)
-        self.history = ConvergenceHistory()
+        cfg = self.config
+        self.engine = RoundEngine(
+            dataset,
+            model,
+            users,
+            strategy=SyncFedAvg(),
+            devices=devices,
+            links=links,
+            dropout=dropout,
+            batch_size=cfg.batch_size,
+            local_epochs=cfg.local_epochs,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            eval_every=cfg.eval_every,
+            aggregation_s=cfg.aggregation_s,
+            min_soc=cfg.min_soc,
+            seed=cfg.seed,
+        )
+        self.engine.bind_server(ParameterServer(model))
 
-    # -- internals -------------------------------------------------------
-    def _battery_ok(self, j: int) -> bool:
-        """Whether user j's device has charge to spare this round."""
-        if self.devices is None or self.config.min_soc <= 0.0:
-            return True
-        return self.devices[j].battery.soc >= self.config.min_soc
+    # -- engine views ----------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.engine.dataset
 
-    def _round_times(self) -> np.ndarray:
-        """Advance every participating device through its workload and
-        return per-user round times (compute + comm)."""
-        n = len(self.users)
-        times = np.zeros(n)
-        if self.devices is None:
-            return times
-        for j, user in enumerate(self.users):
-            if user.size == 0 or not self._battery_ok(j):
-                continue
-            workload = TrainingWorkload(
-                flops_per_sample=self._flops,
-                n_samples=user.size,
-                batch_size=self.config.batch_size,
-                epochs=self.config.local_epochs,
-                model_name=self.server.model.name,
-            )
-            t = self.devices[j].run_workload(
-                workload, record=False
-            ).total_time_s
-            if self.links is not None:
-                t += round_comm_cost(
-                    self.server.model, self.links[j]
-                ).total_s
-            times[j] = t
-        return times
+    @property
+    def users(self) -> List[UserData]:
+        return self.engine.users
 
-    def _idle_to_barrier(self, times: np.ndarray, makespan: float) -> None:
-        """Let fast devices cool down while waiting for the straggler."""
-        if self.devices is None:
-            return
-        for j, user in enumerate(self.users):
-            wait = makespan - times[j] + self.config.aggregation_s
-            if user.size > 0 and wait > 0:
-                self.devices[j].idle(wait)
+    @property
+    def devices(self) -> Optional[List[MobileDevice]]:
+        return self.engine.devices
 
+    @property
+    def links(self) -> Optional[List[Link]]:
+        return self.engine.links
+
+    @property
+    def dropout(self) -> Optional[DropoutPolicy]:
+        return self.engine.dropout
+
+    @property
+    def server(self) -> ParameterServer:
+        return self.engine.server
+
+    @property
+    def history(self) -> ConvergenceHistory:
+        return self.engine.history
+
+    @property
+    def events(self) -> EventBus:
+        """The engine's typed event stream (subscribe for telemetry)."""
+        return self.engine.bus
+
+    # -- entry points ----------------------------------------------------
     def run_round(self, train: bool = True) -> RoundRecord:
         """Execute one synchronous round; returns its record.
 
         ``train=False`` skips the actual SGD and aggregation (used by
         timing-only experiments, e.g. Fig. 5/7 makespan grids).
         """
-        cfg = self.config
-        # Battery opt-out must be decided before the round runs (the
-        # device would not even start training).
-        eligible = [
-            j
-            for j, u in enumerate(self.users)
-            if u.size > 0 and self._battery_ok(j)
-        ]
-        if not eligible:
-            if any(u.size > 0 for u in self.users):
-                raise RuntimeError(
-                    "every data-holding device is below min_soc"
-                )
-            raise RuntimeError("no user holds any data")
-        times = self._round_times()
-        active = eligible
-        aggregators = active
-        if self.dropout is not None:
-            aggregators, _dropped, makespan = apply_deadline(
-                times, active, self.dropout
-            )
-        else:
-            makespan = float(times[active].max()) if self.devices else 0.0
-        mean_t = float(times[active].mean()) if self.devices else 0.0
-        self._idle_to_barrier(times, makespan)
-
-        if train:
-            global_w = self.server.global_weights()
-            weight_vectors: List[np.ndarray] = []
-            counts: List[int] = []
-            for j in aggregators:
-                x, y = self.dataset.subset(self.users[j].indices)
-                self._scratch.set_weights(global_w)
-                result = train_local(
-                    self._scratch,
-                    x,
-                    y,
-                    epochs=cfg.local_epochs,
-                    batch_size=cfg.batch_size,
-                    lr=cfg.lr,
-                    momentum=cfg.momentum,
-                    weight_decay=cfg.weight_decay,
-                    rng=self._rng,
-                )
-                weight_vectors.append(result.weights)
-                counts.append(result.n_samples)
-            self.server.aggregate(weight_vectors, counts)
-        else:
-            self.server.round_idx += 1
-
-        accuracy: Optional[float] = None
-        if train and (self.server.round_idx % cfg.eval_every == 0):
-            accuracy = evaluate_accuracy(
-                self.server.model, self.dataset.x_test, self.dataset.y_test
-            )
-        record = RoundRecord(
-            round_idx=self.server.round_idx,
-            makespan_s=makespan,
-            mean_time_s=mean_t,
-            accuracy=accuracy,
-            participant_count=len(aggregators),
-            per_user_time_s=times,
-        )
-        self.history.append(record)
-        return record
+        return self.engine.run_sync_round(train=train)
 
     def run(self, n_rounds: int, train: bool = True) -> ConvergenceHistory:
         """Run ``n_rounds`` synchronous rounds and return the history."""
@@ -250,6 +183,4 @@ class FederatedSimulation:
 
     def final_accuracy(self) -> float:
         """Accuracy of the current global model on the test split."""
-        return evaluate_accuracy(
-            self.server.model, self.dataset.x_test, self.dataset.y_test
-        )
+        return self.engine.final_accuracy()

@@ -1,0 +1,91 @@
+"""Aggregation-strategy tests: FedAvg, staleness decay, gossip mixing."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregation import (
+    GossipAverage,
+    StalenessWeighted,
+    SyncFedAvg,
+    fedavg_aggregate,
+)
+from repro.engine.topology import make_topology, metropolis_weights
+
+
+class TestFedAvgHome:
+    def test_server_reexports_engine_implementation(self):
+        from repro.federated import server
+
+        assert server.fedavg_aggregate is fedavg_aggregate
+
+    def test_sync_strategy_matches_direct_call(self):
+        vecs = [np.array([0.0, 0.0]), np.array([1.0, 2.0])]
+        counts = [1, 3]
+        np.testing.assert_allclose(
+            SyncFedAvg().aggregate(vecs, counts),
+            fedavg_aggregate(vecs, counts),
+        )
+
+
+class TestStalenessWeighted:
+    def test_poly_default_is_classic_decay(self):
+        s = StalenessWeighted(base_mix=0.6)
+        for tau in range(6):
+            assert s.mix_weight(tau) == pytest.approx(0.6 / (1 + tau))
+
+    def test_constant_never_decays(self):
+        s = StalenessWeighted(base_mix=0.5, decay="constant")
+        assert s.mix_weight(0) == s.mix_weight(100) == 0.5
+
+    def test_hinge_flat_then_hyperbolic(self):
+        s = StalenessWeighted(base_mix=0.6, decay="hinge", a=2.0, b=4.0)
+        assert s.mix_weight(4) == pytest.approx(0.6)
+        assert s.mix_weight(6) == pytest.approx(0.6 / (2.0 * 2.0))
+
+    def test_poly_exponent_steepens_decay(self):
+        shallow = StalenessWeighted(base_mix=0.6, decay="poly", a=0.5)
+        steep = StalenessWeighted(base_mix=0.6, decay="poly", a=2.0)
+        assert steep.mix_weight(5) < shallow.mix_weight(5)
+
+    def test_merge_blends_towards_client(self):
+        s = StalenessWeighted(base_mix=0.5, decay="constant")
+        new, mix = s.merge(np.zeros(3), np.ones(3), staleness=0)
+        assert mix == 0.5
+        np.testing.assert_allclose(new, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StalenessWeighted(base_mix=0.0)
+        with pytest.raises(ValueError):
+            StalenessWeighted(decay="exp")
+        with pytest.raises(ValueError):
+            StalenessWeighted(a=0.0)
+        with pytest.raises(ValueError):
+            StalenessWeighted().mix_weight(-1)
+
+
+class TestGossipAverage:
+    def test_mix_matches_matrix_product(self):
+        g = make_topology("ring", 4)
+        w = metropolis_weights(g)
+        strategy = GossipAverage(w)
+        replicas = np.arange(8.0).reshape(4, 2)
+        np.testing.assert_allclose(strategy.mix(replicas), w @ replicas)
+
+    def test_mix_preserves_mean(self):
+        """Doubly-stochastic mixing conserves the replica average."""
+        g = make_topology("complete", 5)
+        strategy = GossipAverage(metropolis_weights(g))
+        rng = np.random.default_rng(0)
+        replicas = rng.normal(size=(5, 7))
+        mixed = strategy.mix(replicas)
+        np.testing.assert_allclose(
+            mixed.mean(axis=0), replicas.mean(axis=0), atol=1e-12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipAverage(np.zeros((2, 3)))
+        strategy = GossipAverage(np.eye(3))
+        with pytest.raises(ValueError):
+            strategy.mix(np.zeros((4, 2)))

@@ -1,0 +1,162 @@
+"""Event-stream tests: golden sequences and payload integrity."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import iid_partition
+from repro.device.registry import make_device
+from repro.engine import (
+    ClientDispatched,
+    ClientDropped,
+    ClientFinished,
+    EventBus,
+    ModelAggregated,
+    RoundCompleted,
+)
+from repro.federated.dropout import DropoutPolicy
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+
+
+def make_sim(dataset, n_users=2, devices=None, **cfg_kw):
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, n_users, rng)
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    return FederatedSimulation(
+        dataset, model, users, devices=devices,
+        config=SimulationConfig(lr=0.05, **cfg_kw),
+    )
+
+
+class TestGoldenSequence:
+    def test_two_users_two_rounds_sync(self, tiny_dataset):
+        """The exact event sequence of a 2-user, 2-round sync run."""
+        devices = [make_device("pixel2", jitter=0.0) for _ in range(2)]
+        sim = make_sim(tiny_dataset, devices=devices, eval_every=1)
+        events = []
+        sim.events.subscribe(events.append)
+        sim.run(2)
+
+        kinds = [e.kind for e in events]
+        per_round = [
+            "client_dispatched",
+            "client_finished",
+            "client_dispatched",
+            "client_finished",
+            "model_aggregated",
+            "round_completed",
+        ]
+        assert kinds == per_round + per_round
+
+        # round indices: first six events belong to round 1, rest to 2
+        assert all(e.round_idx == 1 for e in events[:6])
+        assert all(e.round_idx == 2 for e in events[6:])
+        # clients dispatched in order 0, 1 each round
+        dispatches = [
+            e for e in events if isinstance(e, ClientDispatched)
+        ]
+        assert [e.client_id for e in dispatches] == [0, 1, 0, 1]
+        # aggregation saw both participants with the fedavg strategy
+        agg = [e for e in events if isinstance(e, ModelAggregated)]
+        assert all(e.participants == (0, 1) for e in agg)
+        assert all(e.strategy == "fedavg" for e in agg)
+
+    def test_round_completed_matches_record(self, tiny_dataset):
+        devices = [
+            make_device(n, jitter=0.0) for n in ("pixel2", "mate10")
+        ]
+        sim = make_sim(tiny_dataset, devices=devices, eval_every=1)
+        events = []
+        sim.events.subscribe(events.append)
+        record = sim.run_round()
+        done = [e for e in events if isinstance(e, RoundCompleted)]
+        assert len(done) == 1
+        assert done[0].makespan_s == pytest.approx(record.makespan_s)
+        assert done[0].mean_time_s == pytest.approx(record.mean_time_s)
+        assert done[0].participant_count == record.participant_count
+        assert done[0].accuracy == record.accuracy
+
+    def test_client_finished_times_sum(self, tiny_dataset):
+        devices = [make_device("pixel2", jitter=0.0) for _ in range(2)]
+        sim = make_sim(tiny_dataset, devices=devices)
+        events = []
+        sim.events.subscribe(events.append)
+        record = sim.run_round(train=False)
+        finished = [e for e in events if isinstance(e, ClientFinished)]
+        for e in finished:
+            assert e.total_s == pytest.approx(e.compute_s + e.comm_s)
+            assert e.total_s == pytest.approx(
+                record.per_user_time_s[e.client_id]
+            )
+
+    def test_dropped_straggler_emits_event(self, tiny_dataset):
+        devices = [
+            make_device(n, jitter=0.0)
+            for n in ("pixel2", "pixel2", "nexus6p")
+        ]
+        rng = np.random.default_rng(0)
+        users = iid_partition(tiny_dataset, 3, rng)
+        model = logistic(input_shape=tiny_dataset.input_shape, seed=1)
+        sim = FederatedSimulation(
+            tiny_dataset, model, users, devices=devices,
+            dropout=DropoutPolicy(deadline_factor=1.2),
+        )
+        events = []
+        sim.events.subscribe(events.append)
+        record = sim.run_round(train=False)
+        dropped = [e for e in events if isinstance(e, ClientDropped)]
+        assert [e.client_id for e in dropped] == [2]
+        assert record.participant_count == 2
+
+
+class TestEventPayloads:
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        e = ModelAggregated(
+            round_idx=1,
+            participants=(0, 2),
+            strategy="fedavg",
+            version=1,
+            time_s=1.5,
+        )
+        payload = e.to_dict()
+        assert payload["event"] == "model_aggregated"
+        assert payload["participants"] == [0, 2]
+        json.dumps(payload)  # must not raise
+
+    def test_events_are_frozen(self):
+        e = ClientDispatched(
+            round_idx=1, client_id=0, n_samples=10, time_s=0.0
+        )
+        with pytest.raises(AttributeError):
+            e.client_id = 3
+
+
+class TestEventBus:
+    def test_subscribe_and_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        event = RoundCompleted(
+            round_idx=1, makespan_s=0.0, mean_time_s=0.0,
+            participant_count=1, accuracy=None, time_s=0.0,
+        )
+        bus.emit(event)
+        unsubscribe()
+        bus.emit(event)
+        assert len(seen) == 1
+
+    def test_global_listener_sees_every_bus(self):
+        seen = []
+        EventBus.add_global_listener(seen.append)
+        try:
+            event = RoundCompleted(
+                round_idx=1, makespan_s=0.0, mean_time_s=0.0,
+                participant_count=1, accuracy=None, time_s=0.0,
+            )
+            EventBus().emit(event)
+            EventBus().emit(event)
+        finally:
+            EventBus.remove_global_listener(seen.append)
+        assert len(seen) == 2

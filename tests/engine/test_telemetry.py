@@ -1,0 +1,178 @@
+"""Telemetry-layer tests: JSON-lines sink, aggregator, global capture."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.partition import iid_partition
+from repro.device.registry import make_device
+from repro.engine.telemetry import (
+    JsonlSink,
+    TelemetryAggregator,
+    read_jsonl,
+    record_telemetry,
+)
+from repro.federated.asynchronous import AsyncConfig, AsyncFederatedSimulation
+from repro.federated.decentralized import (
+    DecentralizedSimulation,
+    make_topology,
+)
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+
+
+def make_sync_sim(dataset, n_users=3, with_devices=True, **cfg_kw):
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, n_users, rng)
+    devices = None
+    if with_devices:
+        devices = [
+            make_device("pixel2", jitter=0.0) for _ in range(n_users)
+        ]
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    return FederatedSimulation(
+        dataset, model, users, devices=devices,
+        config=SimulationConfig(lr=0.05, **cfg_kw),
+    )
+
+
+class TestJsonlSink:
+    def test_stream_is_parseable_and_matches_history(
+        self, tiny_dataset, tmp_path
+    ):
+        """Acceptance: the JSON-lines file's per-round makespans equal
+        the ConvergenceHistory's."""
+        path = tmp_path / "telemetry.jsonl"
+        sim = make_sync_sim(tiny_dataset)
+        sink = JsonlSink(str(path))
+        sim.events.subscribe(sink)
+        history = sim.run(3, train=False)
+        sink.close()
+
+        events = read_jsonl(path)
+        assert all("event" in e for e in events)
+        jsonl_makespans = [
+            e["makespan_s"]
+            for e in events
+            if e["event"] == "round_completed"
+        ]
+        assert jsonl_makespans == pytest.approx(history.makespans())
+        assert len(jsonl_makespans) == 3
+
+    def test_creates_missing_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "out.jsonl"
+        with JsonlSink(str(path)) as sink:
+            assert path.exists()
+            assert sink.n_events == 0
+
+    def test_every_line_is_json(self, tiny_dataset, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sim = make_sync_sim(tiny_dataset, with_devices=False)
+        sink = JsonlSink(str(path))
+        sim.events.subscribe(sink)
+        sim.run_round()
+        sink.close()
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+        assert sink.n_events > 0
+
+
+class TestAggregator:
+    def test_round_records_structure(self, tiny_dataset):
+        sim = make_sync_sim(tiny_dataset, eval_every=1)
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        sim.run(2)
+        assert len(agg.rounds) == 2
+        first = agg.rounds[0]
+        assert first["round"] == 1
+        assert first["participant_count"] == 3
+        assert len(first["clients"]) == 3
+        assert all(not c["dropped"] for c in first["clients"])
+        assert first["accuracy"] is not None
+
+    def test_makespans_match_history(self, tiny_dataset):
+        sim = make_sync_sim(tiny_dataset)
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        history = sim.run(2, train=False)
+        assert agg.round_makespans() == pytest.approx(
+            history.makespans()
+        )
+
+    def test_counts_by_kind(self, tiny_dataset):
+        sim = make_sync_sim(tiny_dataset, n_users=2)
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        sim.run(2)
+        counts = agg.counts()
+        assert counts["client_dispatched"] == 4
+        assert counts["client_finished"] == 4
+        assert counts["model_aggregated"] == 2
+        assert counts["round_completed"] == 2
+
+
+class TestGlobalCapture:
+    def test_record_telemetry_captures_internal_sims(
+        self, tiny_dataset, tmp_path
+    ):
+        """Engines built inside the context are captured without any
+        explicit subscription — the CLI's --telemetry path."""
+        path = tmp_path / "captured.jsonl"
+        with record_telemetry(str(path)) as agg:
+            sim = make_sync_sim(tiny_dataset, n_users=2)
+            sim.run(2, train=False)
+        assert agg.counts()["round_completed"] == 2
+        events = read_jsonl(path)
+        assert [
+            e["event"] for e in events
+        ].count("round_completed") == 2
+
+    def test_capture_stops_after_context(self, tiny_dataset):
+        with record_telemetry() as agg:
+            sim = make_sync_sim(tiny_dataset, n_users=2)
+            sim.run_round(train=False)
+        seen = len(agg.events)
+        sim.run_round(train=False)
+        assert len(agg.events) == seen
+
+
+class TestOtherModes:
+    def test_async_emits_aggregations(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        users = iid_partition(tiny_dataset, 2, rng)
+        devices = [
+            make_device("pixel2", jitter=0.0, seed=i) for i in range(2)
+        ]
+        model = logistic(input_shape=tiny_dataset.input_shape, seed=1)
+        sim = AsyncFederatedSimulation(
+            tiny_dataset, model, users, devices,
+            config=AsyncConfig(lr=0.05),
+        )
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        updates = sim.run(horizon_s=60.0)
+        counts = agg.counts()
+        assert counts["model_aggregated"] == len(updates)
+        assert counts["client_finished"] == len(updates)
+        # every client pull is narrated, including unfinished ones
+        assert counts["client_dispatched"] >= len(updates)
+
+    def test_gossip_emits_rounds(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        users = iid_partition(tiny_dataset, 3, rng)
+        model = logistic(input_shape=tiny_dataset.input_shape, seed=1)
+        sim = DecentralizedSimulation(
+            tiny_dataset, model, users, make_topology("ring", 3)
+        )
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        sim.run(2)
+        counts = agg.counts()
+        assert counts["round_completed"] == 2
+        assert counts["client_dispatched"] == 6
+        assert all(
+            r["participant_count"] == 3 for r in agg.rounds
+        )

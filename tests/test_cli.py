@@ -79,3 +79,71 @@ class TestParser:
         assert (
             main(["report", "--results", str(tmp_path / "nope")]) == 2
         )
+
+
+class TestTelemetryFlag:
+    @pytest.fixture()
+    def stub_experiment(self, tiny_dataset, monkeypatch):
+        """A fast fake experiment that drives a real FederatedSimulation,
+        so --telemetry exercises the genuine global-bus wiring."""
+        import numpy as np
+
+        import repro.cli as cli
+        from repro.data.partition import iid_partition
+        from repro.device.registry import make_device
+        from repro.experiments.runner import ExperimentResult
+        from repro.federated.simulation import FederatedSimulation
+        from repro.models import logistic
+
+        class _Stub:
+            @staticmethod
+            def run():
+                rng = np.random.default_rng(0)
+                users = iid_partition(tiny_dataset, 2, rng)
+                devices = [
+                    make_device("pixel2", jitter=0.0) for _ in range(2)
+                ]
+                model = logistic(
+                    input_shape=tiny_dataset.input_shape, seed=1
+                )
+                sim = FederatedSimulation(
+                    tiny_dataset, model, users, devices=devices
+                )
+                sim.run(2, train=False)
+                result = ExperimentResult(
+                    name="stub",
+                    description="tiny event-stream fixture",
+                    columns=["rounds"],
+                )
+                result.add_row(rounds=2)
+                return result
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "stub", _Stub)
+        return _Stub
+
+    def test_run_with_telemetry_writes_jsonl(
+        self, stub_experiment, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "out.jsonl"
+        assert main(["run", "stub", "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "note: telemetry:" in out
+        assert "events ->" in out
+
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("round_completed") == 2
+        assert kinds.count("client_dispatched") == 4
+
+    def test_run_without_telemetry_writes_nothing(
+        self, stub_experiment, tmp_path, capsys
+    ):
+        assert main(["run", "stub"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert list(tmp_path.iterdir()) == []

@@ -227,6 +227,46 @@ class TestSchedulerProperties:
         assert s.total_shards == total
 
 
+class TestTelemetryProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_users=st.integers(1, 4),
+        n_rounds=st.integers(1, 3),
+    )
+    def test_telemetry_makespans_match_history(
+        self, tiny_dataset, seed, n_users, n_rounds
+    ):
+        """For any sync run, the event stream's per-round makespans are
+        exactly the ConvergenceHistory's makespans."""
+        from repro.data.partition import iid_partition
+        from repro.device.registry import DEVICE_NAMES, make_device
+        from repro.engine.telemetry import TelemetryAggregator
+        from repro.federated.simulation import FederatedSimulation
+        from repro.models import logistic
+
+        rng = np.random.default_rng(seed)
+        users = iid_partition(tiny_dataset, n_users, rng)
+        names = sorted(DEVICE_NAMES)
+        devices = [
+            make_device(names[int(rng.integers(len(names)))], jitter=0.0)
+            for _ in range(n_users)
+        ]
+        model = logistic(input_shape=tiny_dataset.input_shape, seed=1)
+        sim = FederatedSimulation(
+            tiny_dataset, model, users, devices=devices
+        )
+        agg = TelemetryAggregator()
+        sim.events.subscribe(agg)
+        history = sim.run(n_rounds, train=False)
+
+        assert agg.round_makespans() == pytest.approx(
+            history.makespans()
+        )
+        assert len(agg.rounds) == n_rounds
+        assert agg.dispatch_count() == n_users * n_rounds
+
+
 class TestDeviceProperties:
     @settings(max_examples=15, deadline=None)
     @given(
