@@ -4,6 +4,8 @@ Battery-powered Mobile Devices* (Wang, Wei, Zhou; IEEE IPDPS 2020).
 Public API highlights:
 
 * :mod:`repro.core` — Fed-LBAP / Fed-MinAvg schedulers and baselines.
+* :mod:`repro.sched` — the pluggable scheduler subsystem: registry,
+  OLAR / MinEnergy from related work, cost models, bench harness.
 * :mod:`repro.device` — calibrated mobile-SoC simulator (Table I phones).
 * :mod:`repro.profiling` — the two-step training-time profiler.
 * :mod:`repro.engine` — the unified event-driven FL execution core
@@ -14,7 +16,17 @@ Public API highlights:
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
-from . import core, data, device, engine, federated, models, network, profiling
+from . import (
+    core,
+    data,
+    device,
+    engine,
+    federated,
+    models,
+    network,
+    profiling,
+    sched,
+)
 
 __version__ = "1.0.0"
 
@@ -27,5 +39,6 @@ __all__ = [
     "models",
     "network",
     "profiling",
+    "sched",
     "__version__",
 ]

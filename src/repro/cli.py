@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``):
     python -m repro run all                    # the full evaluation
     python -m repro trace nexus6p --model vgg6 # Fig. 1(c)-style trace
     python -m repro devices                    # calibrated testbed summary
+    python -m repro sched list                 # registered schedulers
+    python -m repro sched compare --testbed A  # scheduler comparison
 
 ``run`` uses each experiment's default (fast) configuration and prints
 the paper-style rows; ``--out DIR`` additionally archives them.
@@ -83,16 +85,26 @@ def cmd_run(args: argparse.Namespace) -> int:
             if out_dir:
                 (out_dir / f"{name}.txt").write_text(text + "\n")
 
-    if telemetry_path:
-        with record_telemetry(telemetry_path) as aggregator:
-            run_targets(aggregator)
+    # record_telemetry closes/flushes the sink in its finally block, so
+    # a run failing mid-round still leaves a complete, parseable JSONL;
+    # the failure is reported instead of propagating a traceback.
+    status = 0
+    aggregator = None
+    try:
+        if telemetry_path:
+            with record_telemetry(telemetry_path) as aggregator:
+                run_targets(aggregator)
+        else:
+            run_targets()
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        status = 1
+    if telemetry_path and aggregator is not None:
         print(
             f"[telemetry: {len(aggregator.events)} events -> "
             f"{telemetry_path}]"
         )
-    else:
-        run_targets()
-    return 0
+    return status
 
 
 def cmd_devices(_args: argparse.Namespace) -> int:
@@ -207,6 +219,103 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: letter aliases for the paper's testbeds (A/B/C == 1/2/3)
+_TESTBED_ALIASES = {"a": 1, "b": 2, "c": 3}
+
+
+def _parse_testbed(value: str):
+    """Resolve ``--testbed``: id (1/2/3), letter (A/B/C), or an explicit
+    comma-separated device-name list (``nexus6,pixel2,...``)."""
+    v = value.strip().lower()
+    if v in _TESTBED_ALIASES:
+        return _TESTBED_ALIASES[v]
+    if v.isdigit():
+        return int(v)
+    names = [n.strip() for n in v.split(",") if n.strip()]
+    if not names:
+        raise ValueError(f"cannot parse testbed {value!r}")
+    unknown = [n for n in names if n not in DEVICE_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown devices {unknown}; one of {sorted(DEVICE_NAMES)}"
+        )
+    return names
+
+
+def cmd_sched_list(_args: argparse.Namespace) -> int:
+    from .sched import available_schedulers, scheduler_class
+
+    print("registered schedulers (repro.sched registry):")
+    for name in available_schedulers():
+        doc = (scheduler_class(name).__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:16s} {doc}")
+    return 0
+
+
+def cmd_sched_compare(args: argparse.Namespace) -> int:
+    from .engine.events import EventBus
+    from .sched import available_schedulers, compare, format_table
+    from .sched import is_registered, testbed_problem
+
+    try:
+        testbed = _parse_testbed(args.testbed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.schedulers:
+        names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+        bad = [s for s in names if not is_registered(s)]
+        if bad:
+            print(
+                f"unknown schedulers: {bad}; "
+                f"available: {', '.join(available_schedulers())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = list(available_schedulers())
+
+    def run_compare() -> None:
+        t0 = time.time()
+        problem = testbed_problem(
+            testbed,
+            dataset=args.dataset,
+            model=args.model,
+            shard_size=args.shard_size,
+            total_samples=args.samples,
+            with_energy=not args.no_energy,
+            makespan_cap_s=args.makespan_cap,
+            seed=args.seed,
+        )
+        devices = problem.meta["devices"]
+        print(
+            f"testbed {args.testbed}: {len(devices)} devices "
+            f"({', '.join(devices)}), {problem.total_shards} shards x "
+            f"{problem.shard_size} samples, model {args.model}"
+        )
+        rows = compare(problem, names, bus=EventBus())
+        print(format_table(rows))
+        print(f"[compared {len(rows)} schedulers in {time.time() - t0:.1f} s]")
+
+    status = 0
+    aggregator = None
+    try:
+        if args.telemetry:
+            with record_telemetry(args.telemetry) as aggregator:
+                run_compare()
+        else:
+            run_compare()
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        status = 1
+    if args.telemetry and aggregator is not None:
+        print(
+            f"[telemetry: {len(aggregator.events)} events -> "
+            f"{args.telemetry}]"
+        )
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -249,6 +358,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the report to a file"
     )
     p_rep.set_defaults(func=cmd_report)
+
+    p_sched = sub.add_parser(
+        "sched", help="scheduler subsystem (repro.sched)"
+    )
+    sched_sub = p_sched.add_subparsers(dest="sched_command", required=True)
+
+    p_slist = sched_sub.add_parser(
+        "list", help="list registered schedulers"
+    )
+    p_slist.set_defaults(func=cmd_sched_list)
+
+    p_scmp = sched_sub.add_parser(
+        "compare",
+        help="run registered schedulers on one testbed and compare "
+        "predicted makespan / energy / accuracy cost",
+    )
+    p_scmp.add_argument(
+        "--testbed",
+        default="A",
+        help="testbed id (1/2/3 or A/B/C) or comma-separated device "
+        "names (default A)",
+    )
+    p_scmp.add_argument(
+        "--schedulers",
+        default=None,
+        help="comma-separated registry names (default: all registered)",
+    )
+    p_scmp.add_argument(
+        "--dataset", default="mnist", help="mnist or cifar10"
+    )
+    p_scmp.add_argument(
+        "--model", default="lenet", help="zoo model (default lenet)"
+    )
+    p_scmp.add_argument(
+        "--shard-size", type=int, default=500, help="samples per shard"
+    )
+    p_scmp.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="total samples to schedule (default: the dataset size)",
+    )
+    p_scmp.add_argument(
+        "--makespan-cap",
+        type=float,
+        default=None,
+        help="deadline (s) for energy-minimising schedulers",
+    )
+    p_scmp.add_argument(
+        "--no-energy",
+        action="store_true",
+        help="skip the energy cost model (min_energy reports an error "
+        "row)",
+    )
+    p_scmp.add_argument(
+        "--seed", type=int, default=0, help="seed for random baselines"
+    )
+    p_scmp.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream schedule_computed events to a JSON-lines file",
+    )
+    p_scmp.set_defaults(func=cmd_sched_compare)
 
     p_tr = sub.add_parser(
         "trace", help="trace one device under sustained training"

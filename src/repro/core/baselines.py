@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -59,11 +59,18 @@ def random_schedule(
     n_users: int,
     total_shards: int,
     shard_size: int,
-    rng: np.random.Generator,
+    rng: Union[np.random.Generator, int],
 ) -> Schedule:
-    """Uniformly random partition: each shard lands on a random user."""
+    """Uniformly random partition: each shard lands on a random user.
+
+    ``rng`` is an explicit Generator or an integer seed — never the
+    global numpy state, so identically-seeded runs are reproducible
+    regardless of what else has drawn random numbers in the process.
+    """
     if n_users <= 0 or total_shards <= 0:
         raise ValueError("n_users and total_shards must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
     counts = rng.multinomial(total_shards, np.full(n_users, 1.0 / n_users))
     return Schedule(
         counts.astype(np.int64), shard_size, algorithm="random"

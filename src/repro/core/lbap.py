@@ -118,6 +118,12 @@ def fed_lbap(
     if cost.ndim != 2:
         raise ValueError("cost matrix must be 2-D")
     n, s = cost.shape
+    if n == 0:
+        raise ValueError(
+            "need at least one user (the cost matrix has no rows)"
+        )
+    if s == 0:
+        raise ValueError("cost matrix has no shard columns")
     if total_shards <= 0:
         raise ValueError("total_shards must be positive")
     caps = None
@@ -137,6 +143,10 @@ def fed_lbap(
         )
     if not np.isfinite(cost).all():
         raise ValueError("cost matrix contains NaN/inf entries")
+    if (cost < 0).any():
+        raise ValueError(
+            "cost matrix contains negative entries (times are seconds)"
+        )
     if (np.diff(cost, axis=1) < -1e-9).any():
         raise ValueError(
             "cost rows must be non-decreasing (Property 1); "

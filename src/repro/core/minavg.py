@@ -105,7 +105,7 @@ def fed_minavg(
     )
     shards = np.zeros(n, dtype=np.int64)
     opened = np.zeros(n, dtype=bool)
-    closed = np.zeros(n, dtype=bool)  # at capacity
+    closed = caps <= 0  # at capacity (zero-cap users start closed)
     # Cached alpha*F_j values, refreshed lazily: Eq. (6) values change
     # for *every* user when coverage or D_u changes, so we recompute the
     # candidates' costs each step (still O(n) per shard).

@@ -55,11 +55,17 @@ def fed_minavg_affine(
     b = np.asarray(slopes, dtype=np.float64)
     n = a.shape[0]
     if n == 0:
-        raise ValueError("need at least one user")
+        raise ValueError("need at least one user (empty user list)")
     if b.shape != (n,) or len(user_classes) != n:
         raise ValueError("intercepts/slopes/classes lengths differ")
     if total_shards <= 0 or shard_size <= 0:
         raise ValueError("total_shards and shard_size must be positive")
+    if not (np.isfinite(a).all() and np.isfinite(b).all()):
+        raise ValueError("intercepts/slopes contain NaN/inf entries")
+    if (a < 0).any() or (b < 0).any():
+        raise ValueError(
+            "intercepts/slopes must be non-negative (times are seconds)"
+        )
     caps = (
         np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
         if capacities is None
@@ -98,7 +104,7 @@ def fed_minavg_affine(
     d = float(shard_size)
     shards = np.zeros(n, dtype=np.int64)
     opened = np.zeros(n, dtype=bool)
-    closed = np.zeros(n, dtype=bool)
+    closed = caps <= 0  # zero-cap users start closed
     # time term at the *next* shard for each user: opened users are
     # evaluated at (l_j + 1) shards, unopened at 1 shard + comm.
     time_term = a + b * d + comm

@@ -43,6 +43,7 @@ from .events import (
     EventBus,
     ModelAggregated,
     RoundCompleted,
+    ScheduleComputed,
 )
 from .execution import evaluate_accuracy, train_local
 from .telemetry import ConvergenceHistory, RoundRecord
@@ -147,6 +148,14 @@ class RoundEngine:
         #: server module can depend on the engine, not vice versa.
         self.server = None
 
+        #: optional repro.sched planner (duck-typed: plan_round(engine,
+        #: round_idx, eligible) -> Assignment); bound via
+        #: bind_scheduler so repro.sched depends on the engine, not
+        #: vice versa. When set, each sync round's per-user sample
+        #: counts come from the planned assignment.
+        self.scheduler_binding = None
+        self._round_samples: Optional[np.ndarray] = None
+
         # -- async driver state ------------------------------------------
         n = len(self.users)
         self.version = 0
@@ -163,6 +172,20 @@ class RoundEngine:
     def bind_server(self, server) -> None:
         """Attach the parameter server the sync driver aggregates into."""
         self.server = server
+
+    def bind_scheduler(self, binding) -> None:
+        """Attach a per-round shard planner (see
+        :class:`repro.sched.binding.EngineSchedulerBinding`); pass
+        ``None`` to detach and return to the users' native data sizes."""
+        self.scheduler_binding = binding
+        self._round_samples = None
+
+    def _client_samples(self, j: int) -> int:
+        """Samples user j trains this round: the planned allocation if a
+        scheduler is bound, its full local data otherwise."""
+        if self._round_samples is not None:
+            return int(self._round_samples[j])
+        return self.users[j].size
 
     def battery_ok(self, j: int) -> bool:
         """Whether user j's device has charge to spare this round."""
@@ -186,7 +209,7 @@ class RoundEngine:
             return 0.0
         workload = TrainingWorkload(
             flops_per_sample=self._flops,
-            n_samples=self.users[j].size,
+            n_samples=self._client_samples(j),
             batch_size=self.batch_size,
             epochs=epochs,
             model_name=self.model.name,
@@ -205,7 +228,12 @@ class RoundEngine:
         self, j: int, start_weights: np.ndarray, epochs: int
     ):
         """Local SGD for user j from the given starting weights."""
-        x, y = self.dataset.subset(self.users[j].indices)
+        indices = self.users[j].indices
+        if self._round_samples is not None:
+            # a bound scheduler caps this round's training data; the
+            # allocation is clamped to the data the user actually holds
+            indices = indices[: min(len(indices), self._client_samples(j))]
+        x, y = self.dataset.subset(indices)
         self._scratch.set_weights(start_weights)
         return train_local(
             self._scratch,
@@ -238,7 +266,7 @@ class RoundEngine:
                 ClientDispatched(
                     round_idx=round_idx,
                     client_id=j,
-                    n_samples=self.users[j].size,
+                    n_samples=self._client_samples(j),
                     time_s=self.clock_s,
                 )
             )
@@ -283,6 +311,7 @@ class RoundEngine:
             )
         # Battery opt-out must be decided before the round runs (the
         # device would not even start training).
+        self._round_samples = None
         eligible = self.eligible_clients()
         if not eligible:
             if any(u.size > 0 for u in self.users):
@@ -291,6 +320,38 @@ class RoundEngine:
                 )
             raise RuntimeError("no user holds any data")
         round_idx = self.server.round_idx + 1
+        if self.scheduler_binding is not None:
+            assignment = self.scheduler_binding.plan_round(
+                self, round_idx, eligible
+            )
+            samples = np.asarray(
+                assignment.samples_per_user(), dtype=np.int64
+            )
+            if samples.shape != (len(self.users),):
+                raise ValueError(
+                    "scheduler assignment must cover every user"
+                )
+            self._round_samples = samples
+            self.bus.emit(
+                ScheduleComputed(
+                    round_idx=round_idx,
+                    scheduler=assignment.scheduler,
+                    shard_counts=tuple(
+                        int(k) for k in assignment.shard_counts
+                    ),
+                    shard_size=assignment.schedule.shard_size,
+                    predicted_makespan_s=assignment.predicted_makespan_s,
+                    predicted_energy_j=assignment.predicted_energy_j,
+                    time_s=self.clock_s,
+                )
+            )
+            # users planned out of the round neither compute nor train
+            eligible = [j for j in eligible if samples[j] > 0]
+            if not eligible:
+                self._round_samples = None
+                raise RuntimeError(
+                    "the scheduler assigned no data to any eligible user"
+                )
         times = self._dispatch_round(round_idx, eligible)
         active = eligible
         aggregators = active
@@ -366,6 +427,7 @@ class RoundEngine:
                 time_s=self.clock_s,
             )
         )
+        self._round_samples = None
         return record
 
     # -- asynchronous driver ---------------------------------------------

@@ -18,7 +18,9 @@ Event taxonomy (one dataclass per kind):
 * :class:`ModelAggregated` — the aggregation strategy merged client
   updates into a new model (or gossip mixing ran);
 * :class:`RoundCompleted` — a barrier round closed with its makespan
-  and bookkeeping.
+  and bookkeeping;
+* :class:`ScheduleComputed` — a :mod:`repro.sched` scheduler planned
+  the round's shard allocation (predicted makespan/energy included).
 
 All events are frozen dataclasses with a stable ``kind`` string and a
 ``to_dict`` JSON-safe serialisation used by the JSON-lines sink.
@@ -36,6 +38,7 @@ __all__ = [
     "ClientDropped",
     "ModelAggregated",
     "RoundCompleted",
+    "ScheduleComputed",
     "EventBus",
 ]
 
@@ -117,6 +120,27 @@ class RoundCompleted(EngineEvent):
     mean_time_s: float
     participant_count: int
     accuracy: Optional[float]
+    time_s: float
+
+
+@dataclass(frozen=True)
+class ScheduleComputed(EngineEvent):
+    """A scheduler produced the round's shard allocation.
+
+    ``predicted_*`` fields are the scheduler's own cost-model forecast
+    (from the :class:`repro.sched.base.Assignment`), not the realised
+    round outcome — comparing them against the subsequent
+    :class:`RoundCompleted` quantifies the profile-vs-reality gap.
+    """
+
+    kind: ClassVar[str] = "schedule_computed"
+
+    round_idx: int
+    scheduler: str
+    shard_counts: Tuple[int, ...]
+    shard_size: int
+    predicted_makespan_s: float
+    predicted_energy_j: Optional[float]
     time_s: float
 
 

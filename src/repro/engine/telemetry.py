@@ -142,6 +142,9 @@ class JsonlSink:
 
     def __call__(self, event: EngineEvent) -> None:
         self._fh.write(json.dumps(event.to_dict()) + "\n")
+        # flush per line: a run dying mid-round must never leave a
+        # truncated (unparseable) trailing record behind
+        self._fh.flush()
         self.n_events += 1
 
     def flush(self) -> None:

@@ -1,0 +1,275 @@
+"""Core abstractions of the ``repro.sched`` scheduler subsystem.
+
+The paper's algorithms (Fed-LBAP, Fed-MinAvg), the Sec.-VII baselines
+and the related-work additions (OLAR, MinEnergy) all answer the same
+question — *how many data shards does each user train this round?* —
+but historically lived as loose functions with incompatible signatures.
+This module gives them one shape:
+
+* :class:`SchedulingProblem` — the full instance a scheduler may
+  consult: per-user time/energy cost matrices (``C[j, k]`` = cost of
+  ``k+1`` shards), the shard budget, capacities, non-IID class sets,
+  P2 weights and an RNG. Every field a given algorithm does not use is
+  simply ignored by it.
+* :class:`Assignment` — a :class:`~repro.core.schedule.Schedule` plus
+  the *predicted* round makespan and energy under the problem's cost
+  model, so schedulers are comparable on a common yardstick before any
+  simulation runs.
+* :class:`Scheduler` — the ABC every algorithm implements
+  (``schedule(problem) -> Assignment``); concrete classes self-register
+  via :func:`repro.sched.registry.register`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.schedule import Schedule
+
+__all__ = ["SchedulingProblem", "Assignment", "Scheduler"]
+
+
+@dataclass
+class SchedulingProblem:
+    """One scheduling instance: cost model + budget + constraints.
+
+    Attributes
+    ----------
+    time_cost:
+        ``(n_users, s)`` matrix; ``time_cost[j, k]`` is the seconds user
+        ``j`` needs for ``k+1`` shards this round (compute plus one
+        model push/pull). Rows non-decreasing (Property 1).
+    energy_cost:
+        Optional ``(n_users, s)`` matrix of Joules, same convention.
+        Required by energy-aware schedulers (MinEnergy).
+    total_shards:
+        The D of Eq. (3): shards to allocate in full.
+    shard_size:
+        Samples per shard.
+    capacities:
+        Optional per-user shard caps ``C_j`` (storage/battery limits).
+    user_classes:
+        Optional per-user class sets ``U_j`` for non-IID instances;
+        defaults to "every user holds every class" (IID reading).
+    num_classes:
+        K, classes in the test set.
+    alpha, beta:
+        Eq.-(6) time/accuracy trade-off weights (P2 schedulers only).
+    time_curves, comm_costs:
+        Optional raw per-user ``T_j(n_samples)`` callables and one-off
+        communication seconds. Adapters that wrap curve-based
+        algorithms (Fed-MinAvg) use these verbatim so their output is
+        bit-identical to a direct call; matrix-based schedulers ignore
+        them.
+    weights:
+        Optional per-user processing-power estimates for the
+        Proportional baseline (e.g. mean CPU frequency per core).
+    makespan_cap_s:
+        Optional deadline for energy-minimising schedulers: cells whose
+        time exceeds the cap are infeasible.
+    rng:
+        Generator or integer seed consumed by randomised schedulers;
+        an explicit value makes runs reproducible end to end.
+    """
+
+    time_cost: np.ndarray
+    total_shards: int
+    shard_size: int = 1
+    energy_cost: Optional[np.ndarray] = None
+    capacities: Optional[np.ndarray] = None
+    user_classes: Optional[Sequence[Tuple[int, ...]]] = None
+    num_classes: int = 10
+    alpha: float = 0.0
+    beta: float = 0.0
+    time_curves: Optional[Sequence[Callable[[float], float]]] = None
+    comm_costs: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+    makespan_cap_s: Optional[float] = None
+    rng: Union[np.random.Generator, int, None] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.time_cost = np.asarray(self.time_cost, dtype=np.float64)
+        self.validate()
+
+    # -- shape helpers ----------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return int(self.time_cost.shape[0])
+
+    @property
+    def n_slots(self) -> int:
+        """Columns of the cost matrices (max shards any user could take)."""
+        return int(self.time_cost.shape[1])
+
+    def effective_capacities(self) -> np.ndarray:
+        """Per-user caps clipped to the matrix width (``n_slots``)."""
+        caps = np.full(self.n_users, self.n_slots, dtype=np.int64)
+        if self.capacities is not None:
+            caps = np.minimum(
+                caps, np.asarray(self.capacities, dtype=np.int64)
+            )
+        return caps
+
+    def classes_or_default(self) -> Sequence[Tuple[int, ...]]:
+        """Class sets, defaulting to full coverage for every user."""
+        if self.user_classes is not None:
+            return self.user_classes
+        full = tuple(range(self.num_classes))
+        return [full] * self.n_users
+
+    def generator(self, fallback_seed: int = 0) -> np.random.Generator:
+        """Materialise the problem's RNG (seed, Generator, or default)."""
+        if isinstance(self.rng, np.random.Generator):
+            return self.rng
+        if self.rng is not None:
+            return np.random.default_rng(int(self.rng))
+        return np.random.default_rng(fallback_seed)
+
+    # -- validation -------------------------------------------------------
+    def validate(self) -> None:
+        """Reject malformed instances with actionable messages."""
+        if self.time_cost.ndim != 2:
+            raise ValueError("time_cost must be a 2-D (users x shards) matrix")
+        if self.n_users == 0:
+            raise ValueError("need at least one user (empty user list)")
+        if self.n_slots == 0:
+            raise ValueError("cost matrix has zero shard columns")
+        if self.total_shards <= 0:
+            raise ValueError("total_shards must be positive")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if not np.isfinite(self.time_cost).all():
+            raise ValueError("time_cost contains NaN/inf entries")
+        if (self.time_cost < 0).any():
+            raise ValueError("time_cost contains negative entries")
+        for name in ("energy_cost",):
+            m = getattr(self, name)
+            if m is None:
+                continue
+            m = np.asarray(m, dtype=np.float64)
+            if m.shape != self.time_cost.shape:
+                raise ValueError(f"{name} shape must match time_cost")
+            if not np.isfinite(m).all():
+                raise ValueError(f"{name} contains NaN/inf entries")
+            if (m < 0).any():
+                raise ValueError(f"{name} contains negative entries")
+            setattr(self, name, m)
+        caps = self.effective_capacities()
+        if (caps < 0).any():
+            raise ValueError("capacities must be non-negative")
+        if int(caps.sum()) < self.total_shards:
+            raise ValueError(
+                "infeasible: total capacity "
+                f"{int(caps.sum())} below the requested "
+                f"{self.total_shards} shards"
+            )
+        if self.user_classes is not None and len(self.user_classes) != self.n_users:
+            raise ValueError("one class set per user required")
+
+    # -- evaluation -------------------------------------------------------
+    def predicted_makespan(self, shard_counts: np.ndarray) -> float:
+        """Round makespan implied by the time matrix for an allocation."""
+        counts = np.asarray(shard_counts, dtype=np.int64)
+        active = np.flatnonzero(counts > 0)
+        if active.size == 0:
+            return 0.0
+        return float(
+            max(self.time_cost[j, counts[j] - 1] for j in active)
+        )
+
+    def predicted_energy(
+        self, shard_counts: np.ndarray
+    ) -> Optional[float]:
+        """Total Joules implied by the energy matrix (None if absent)."""
+        if self.energy_cost is None:
+            return None
+        counts = np.asarray(shard_counts, dtype=np.int64)
+        return float(
+            sum(
+                self.energy_cost[j, counts[j] - 1]
+                for j in np.flatnonzero(counts > 0)
+            )
+        )
+
+
+@dataclass
+class Assignment:
+    """A scheduler's answer, annotated with its predicted cost.
+
+    ``schedule`` carries the shard allocation; ``predicted_makespan_s``
+    and ``predicted_energy_j`` are evaluated against the *problem's*
+    cost matrices so every scheduler is scored on the same model.
+    """
+
+    schedule: Schedule
+    scheduler: str
+    predicted_makespan_s: float
+    predicted_energy_j: Optional[float] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def shard_counts(self) -> np.ndarray:
+        return self.schedule.shard_counts
+
+    def samples_per_user(self) -> np.ndarray:
+        return self.schedule.samples_per_user()
+
+    @classmethod
+    def from_schedule(
+        cls,
+        problem: SchedulingProblem,
+        schedule: Schedule,
+        scheduler: str,
+        **meta: object,
+    ) -> "Assignment":
+        """Wrap a raw schedule and score it against the problem."""
+        return cls(
+            schedule=schedule,
+            scheduler=scheduler,
+            predicted_makespan_s=problem.predicted_makespan(
+                schedule.shard_counts
+            ),
+            predicted_energy_j=problem.predicted_energy(
+                schedule.shard_counts
+            ),
+            meta=dict(meta),
+        )
+
+
+class Scheduler(ABC):
+    """A shard-allocation algorithm.
+
+    Subclasses set ``name`` (the registry key fills it in when the
+    class is registered) and implement :meth:`schedule`. A scheduler
+    must allocate *exactly* ``problem.total_shards`` shards and respect
+    ``problem.effective_capacities()``; the shared property tests
+    enforce both for every registered implementation.
+    """
+
+    #: registry key; assigned by @register
+    name: str = "unnamed"
+
+    @abstractmethod
+    def schedule(self, problem: SchedulingProblem) -> Assignment:
+        """Solve one instance."""
+
+    def _finish(
+        self,
+        problem: SchedulingProblem,
+        schedule: Schedule,
+        **meta: object,
+    ) -> Assignment:
+        """Validate totals/capacities and wrap the schedule."""
+        schedule.validate_total(problem.total_shards)
+        schedule.validate_capacities(problem.effective_capacities())
+        return Assignment.from_schedule(
+            problem, schedule, self.name, **meta
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,174 @@
+"""Engine integration: plan each sync round with a registered scheduler.
+
+``EngineSchedulerBinding`` is the glue the
+:class:`~repro.engine.engine.RoundEngine` calls when a scheduler is
+bound (``engine.bind_scheduler(binding)``): before dispatching a
+synchronous round it plans the per-user shard allocation, the engine
+emits a :class:`~repro.engine.events.ScheduleComputed` event carrying
+the assignment plus its predicted makespan/energy, and the round's
+workloads and training subsets follow the plan.
+
+The scheduler is chosen **per round**: pass a fixed scheduler (name or
+instance) or a ``chooser(round_idx)`` callable — e.g. alternate
+``fed_lbap`` and ``min_energy`` on odd/even rounds to trade speed
+against battery. Users whose battery fails the engine's ``min_soc``
+floor are excluded by zeroing their capacity for that round's instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from .base import Assignment, Scheduler, SchedulingProblem
+from .registry import get_scheduler
+
+__all__ = ["EngineSchedulerBinding", "problem_from_engine"]
+
+SchedulerLike = Union[str, Scheduler, Callable[[int], Union[str, Scheduler]]]
+
+
+def problem_from_engine(
+    engine,
+    shard_size: int = 100,
+    with_energy: bool = True,
+    alpha: float = 100.0,
+    beta: float = 0.0,
+    seed: int = 0,
+) -> SchedulingProblem:
+    """Build a scheduling instance from an engine's own substrates.
+
+    Profiles fresh, jitter-free devices of the same specs as the
+    engine's fleet (never the live devices — profiling resets
+    thermal/battery state), takes the shard budget from the data the
+    users collectively hold, and reads class sets off the partitions.
+    """
+    from ..device.device import MobileDevice
+    from .costs import (
+        build_energy_matrix,
+        cached_energy_curves,
+        cached_time_curves,
+    )
+    from ..core.cost import build_cost_matrix
+
+    if engine.devices is None:
+        raise ValueError(
+            "the engine has no devices; scheduling needs a cost model"
+        )
+    names = [d.spec.name for d in engine.devices]
+    # reuse the registry caches when specs are registry-built; custom
+    # specs profile on a fresh clone of the same spec
+    for d in engine.devices:
+        if not isinstance(d, MobileDevice):  # pragma: no cover - guard
+            raise TypeError("engine devices must be MobileDevice")
+    total = sum(u.size for u in engine.users)
+    if total <= 0:
+        raise ValueError("no user holds any data")
+    shards = max(1, total // shard_size)
+    time_curves = cached_time_curves(
+        names, engine.model, batch_size=engine.batch_size
+    )
+    time_cost = build_cost_matrix(time_curves, shards, shard_size)
+    energy_cost = None
+    if with_energy:
+        energy_cost = build_energy_matrix(
+            cached_energy_curves(
+                names, engine.model, batch_size=engine.batch_size
+            ),
+            shards,
+            shard_size,
+        )
+    classes = [tuple(u.classes) for u in engine.users]
+    if not any(classes):
+        classes = None
+    return SchedulingProblem(
+        time_cost=time_cost,
+        total_shards=shards,
+        shard_size=shard_size,
+        energy_cost=energy_cost,
+        user_classes=classes,
+        alpha=alpha,
+        beta=beta,
+        time_curves=list(time_curves),
+        rng=seed,
+        meta={"devices": tuple(names)},
+    )
+
+
+class EngineSchedulerBinding:
+    """Per-round planner the engine consults when bound.
+
+    Parameters
+    ----------
+    scheduler:
+        Registry name, :class:`Scheduler` instance, or a callable
+        ``round_idx -> name | Scheduler`` choosing per round.
+    problem:
+        A ready :class:`SchedulingProblem`; built lazily from the
+        engine (:func:`problem_from_engine`) when omitted.
+    shard_size:
+        Shard granularity for the lazy builder.
+    """
+
+    def __init__(
+        self,
+        scheduler: SchedulerLike,
+        problem: Optional[SchedulingProblem] = None,
+        shard_size: int = 100,
+        with_energy: bool = True,
+    ) -> None:
+        self._scheduler = scheduler
+        self._problem = problem
+        self._shard_size = shard_size
+        self._with_energy = with_energy
+        #: assignments planned so far, in round order
+        self.assignments: list = []
+
+    def _resolve(self, round_idx: int) -> Scheduler:
+        choice = self._scheduler
+        if callable(choice) and not isinstance(choice, Scheduler):
+            choice = choice(round_idx)
+        if isinstance(choice, str):
+            return get_scheduler(choice)
+        if isinstance(choice, Scheduler):
+            return choice
+        raise TypeError(
+            "scheduler must be a registry name, Scheduler instance, or "
+            "a round_idx -> scheduler callable"
+        )
+
+    def _instance(self, engine) -> SchedulingProblem:
+        if self._problem is None:
+            self._problem = problem_from_engine(
+                engine,
+                shard_size=self._shard_size,
+                with_energy=self._with_energy,
+            )
+        return self._problem
+
+    def plan_round(
+        self, engine, round_idx: int, eligible: Sequence[int]
+    ) -> Assignment:
+        """Plan one round over the currently eligible users."""
+        problem = self._instance(engine)
+        if problem.n_users != len(engine.users):
+            raise ValueError(
+                "scheduling problem covers "
+                f"{problem.n_users} users, engine has {len(engine.users)}"
+            )
+        caps = problem.effective_capacities().copy()
+        mask = np.zeros(problem.n_users, dtype=bool)
+        mask[list(eligible)] = True
+        caps[~mask] = 0
+        if int(caps.sum()) < problem.total_shards:
+            raise RuntimeError(
+                "infeasible round: eligible users cannot absorb the "
+                f"shard budget ({int(caps.sum())} < {problem.total_shards})"
+            )
+        instance = replace(problem, capacities=caps)
+        scheduler = self._resolve(round_idx)
+        assignment = scheduler.schedule(instance)
+        self.assignments.append(assignment)
+        return assignment

@@ -1,0 +1,82 @@
+"""Decorator-based scheduler registry.
+
+Algorithms self-register under a stable string key::
+
+    @register("olar")
+    class OLARScheduler(Scheduler):
+        ...
+
+and callers resolve them by name (``get_scheduler("olar")``) — the CLI,
+the bench harness and the engine binding never import concrete classes.
+Constructor keyword arguments pass through ``get_scheduler``, so
+parameterised variants (``get_scheduler("random", seed=7)``) need no
+extra plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from .base import Scheduler
+
+__all__ = [
+    "register",
+    "get_scheduler",
+    "scheduler_class",
+    "available_schedulers",
+    "is_registered",
+]
+
+_REGISTRY: Dict[str, Type[Scheduler]] = {}
+
+
+def register(
+    name: str,
+) -> Callable[[Type[Scheduler]], Type[Scheduler]]:
+    """Class decorator adding a :class:`Scheduler` under ``name``.
+
+    The key becomes the class's ``name`` attribute (and thus the
+    ``algorithm`` tag on the schedules it emits, unless the adapter
+    overrides it to preserve a historical tag).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("scheduler name must be non-empty")
+
+    def deco(cls: Type[Scheduler]) -> Type[Scheduler]:
+        if not issubclass(cls, Scheduler):
+            raise TypeError(
+                f"{cls.__name__} must subclass Scheduler to register"
+            )
+        if key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise ValueError(f"scheduler {key!r} already registered")
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return deco
+
+
+def is_registered(name: str) -> bool:
+    return name.strip().lower() in _REGISTRY
+
+
+def scheduler_class(name: str) -> Type[Scheduler]:
+    """Look up the class behind a registry key."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler {name!r}; "
+            f"available: {', '.join(available_schedulers())}"
+        )
+    return _REGISTRY[key]
+
+
+def get_scheduler(name: str, **kwargs: object) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    return scheduler_class(name)(**kwargs)
+
+
+def available_schedulers() -> Tuple[str, ...]:
+    """All registry keys, sorted."""
+    return tuple(sorted(_REGISTRY))

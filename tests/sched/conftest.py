@@ -1,0 +1,40 @@
+"""Shared fixtures for the scheduler-subsystem tests."""
+
+import numpy as np
+import pytest
+
+from repro.sched import SchedulingProblem
+
+
+def synthetic_problem(
+    seed=0,
+    n_users=4,
+    n_slots=12,
+    total_shards=10,
+    shard_size=100,
+    with_energy=True,
+    **kwargs,
+):
+    """A random monotone instance: affine time rows, affine energy."""
+    rng = np.random.default_rng(seed)
+    intercepts = rng.uniform(0.5, 3.0, n_users)
+    slopes = rng.uniform(0.1, 1.5, n_users)
+    k = np.arange(1, n_slots + 1)
+    time_cost = intercepts[:, None] + slopes[:, None] * k[None, :]
+    energy_cost = None
+    if with_energy:
+        e_slopes = rng.uniform(0.2, 2.0, n_users)
+        energy_cost = e_slopes[:, None] * k[None, :]
+    kwargs.setdefault("rng", seed)
+    return SchedulingProblem(
+        time_cost=time_cost,
+        total_shards=total_shards,
+        shard_size=shard_size,
+        energy_cost=energy_cost,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def problem():
+    return synthetic_problem()

@@ -1,0 +1,131 @@
+"""Comparison harness: rows, events, error isolation, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.engine.events import EventBus
+from repro.sched import available_schedulers
+from repro.sched.bench import CompareRow, compare, format_table, sweep
+
+from .conftest import synthetic_problem
+
+
+class TestCompare:
+    def test_runs_every_registered_scheduler_by_default(self, problem):
+        rows = compare(problem)
+        assert [r.scheduler for r in rows] == list(
+            available_schedulers()
+        )
+        for r in rows:
+            assert r.error is None, f"{r.scheduler}: {r.error}"
+            assert r.makespan_s > 0
+            assert r.energy_j > 0
+            assert 1 <= r.participants <= problem.n_users
+            assert r.runtime_ms >= 0
+
+    def test_scheduler_subset(self, problem):
+        rows = compare(problem, ["olar", "equal"])
+        assert [r.scheduler for r in rows] == ["olar", "equal"]
+
+    def test_exact_solvers_beat_equal_split(self, problem):
+        rows = {r.scheduler: r for r in compare(problem)}
+        assert (
+            rows["olar"].makespan_s
+            <= rows["equal"].makespan_s + 1e-9
+        )
+        assert (
+            rows["fed_lbap"].makespan_s
+            <= rows["equal"].makespan_s + 1e-9
+        )
+        assert (
+            rows["min_energy"].energy_j
+            <= rows["equal"].energy_j + 1e-9
+        )
+
+    def test_missing_energy_yields_error_row_not_abort(self):
+        p = synthetic_problem(with_energy=False)
+        rows = {r.scheduler: r for r in compare(p)}
+        assert rows["min_energy"].error is not None
+        assert "energy" in rows["min_energy"].error
+        assert rows["olar"].error is None
+        assert rows["olar"].energy_j is None
+
+    def test_strict_mode_propagates(self):
+        p = synthetic_problem(with_energy=False)
+        with pytest.raises(ValueError, match="energy"):
+            compare(p, ["min_energy"], strict=True)
+
+    def test_unknown_scheduler_is_error_row(self, problem):
+        rows = compare(problem, ["olar", "bogus"])
+        assert rows[1].scheduler == "bogus"
+        assert rows[1].error is not None
+
+    def test_emits_schedule_computed_events(self, problem):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        compare(problem, ["olar", "min_energy"], bus=bus)
+        assert [e.kind for e in seen] == ["schedule_computed"] * 2
+        assert seen[0].scheduler == "olar"
+        assert sum(seen[0].shard_counts) == problem.total_shards
+        d = seen[0].to_dict()
+        assert d["event"] == "schedule_computed"
+        assert d["predicted_makespan_s"] == pytest.approx(
+            seen[0].predicted_makespan_s
+        )
+
+
+class TestSweep:
+    def test_grid_tags_instances(self):
+        # device-name testbeds keep the sweep fast (3 tiny fleets)
+        rows = sweep(
+            [["nexus6", "pixel2"]],
+            [2000, 4000],
+            schedulers=["olar", "equal"],
+            shard_size=500,
+        )
+        tags = {r.instance for r in rows}
+        assert len(tags) == 2
+        assert all("D=2000" in t or "D=4000" in t for t in tags)
+        assert len(rows) == 4
+
+
+class TestFormatTable:
+    def test_single_instance_layout(self, problem):
+        text = format_table(compare(problem, ["olar", "equal"]))
+        lines = text.splitlines()
+        assert lines[0].split()[:2] == ["scheduler", "makespan_s"]
+        assert "instance" not in lines[0]
+        assert any(line.startswith("olar") for line in lines)
+
+    def test_sweep_layout_includes_instance_column(self):
+        rows = [
+            CompareRow(
+                scheduler="olar",
+                makespan_s=1.0,
+                energy_j=None,
+                accuracy_cost=0.0,
+                participants=2,
+                runtime_ms=0.1,
+                instance="tb1/D=2000",
+            )
+        ]
+        text = format_table(rows)
+        assert text.splitlines()[0].split()[0] == "instance"
+        assert "tb1/D=2000" in text
+        assert "  -" in text  # missing energy renders as a dash
+
+    def test_error_rows_render(self):
+        rows = [
+            CompareRow(
+                scheduler="min_energy",
+                makespan_s=None,
+                energy_j=None,
+                accuracy_cost=None,
+                participants=None,
+                runtime_ms=0.2,
+                error="needs energy_cost",
+            )
+        ]
+        text = format_table(rows)
+        assert "error: needs energy_cost" in text

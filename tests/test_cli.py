@@ -147,3 +147,135 @@ class TestTelemetryFlag:
         out = capsys.readouterr().out
         assert "telemetry" not in out
         assert list(tmp_path.iterdir()) == []
+
+
+class TestSchedCommands:
+    def test_sched_list(self, capsys):
+        assert main(["sched", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fed_lbap", "fed_minavg", "olar", "min_energy",
+                     "equal", "random", "proportional"):
+            assert name in out
+
+    def test_sched_compare_runs_all_on_testbed_a(self, capsys):
+        """Acceptance: `repro sched compare --testbed A` prints a
+        makespan/energy row for every registered scheduler."""
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--testbed", "A",
+                    "--samples", "6000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "makespan_s" in out and "energy_j" in out
+        from repro.sched import available_schedulers
+
+        for name in available_schedulers():
+            assert name in out
+        assert "error:" not in out
+
+    def test_sched_compare_scheduler_subset_and_device_testbed(
+        self, capsys
+    ):
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--testbed", "nexus6,pixel2",
+                    "--schedulers", "olar,equal",
+                    "--samples", "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "olar" in out and "equal" in out
+        assert "fed_minavg" not in out
+        assert "2 devices" in out
+
+    def test_sched_compare_writes_telemetry(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sched.jsonl"
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--testbed", "1",
+                    "--schedulers", "olar,fed_lbap",
+                    "--samples", "6000",
+                    "--telemetry", str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == [
+            "schedule_computed",
+            "schedule_computed",
+        ]
+        assert events[0]["scheduler"] == "olar"
+        assert events[0]["predicted_makespan_s"] > 0
+
+    def test_sched_compare_unknown_testbed(self, capsys):
+        assert main(["sched", "compare", "--testbed", "z9"]) == 2
+        assert "unknown devices" in capsys.readouterr().err
+
+    def test_sched_compare_unknown_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--schedulers", "sjf",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown schedulers" in err
+        assert "olar" in err  # lists what IS available
+
+    def test_sched_compare_failure_still_flushes_telemetry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A run dying mid-comparison exits 1 with a clean message and
+        leaves a fully parseable (non-truncated) JSONL behind."""
+        import json
+
+        import repro.sched as sched_mod
+
+        real_compare = sched_mod.compare
+
+        def exploding_compare(problem, names, bus=None, **kw):
+            real_compare(problem, ["olar"], bus=bus)
+            raise RuntimeError("solver crashed mid-run")
+
+        monkeypatch.setattr(sched_mod, "compare", exploding_compare)
+        path = tmp_path / "crash.jsonl"
+        status = main(
+            [
+                "sched", "compare",
+                "--testbed", "1",
+                "--samples", "6000",
+                "--telemetry", str(path),
+            ]
+        )
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "error: RuntimeError: solver crashed mid-run" in captured.err
+        assert "telemetry" in captured.out
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(events) == 1
+        assert events[0]["event"] == "schedule_computed"
