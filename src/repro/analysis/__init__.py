@@ -1,0 +1,55 @@
+"""``repro.analysis`` — repo-specific static analysis.
+
+A small rule-plugin framework (:mod:`base`) plus the invariant rules
+(:mod:`rules`) that mechanically lock in what the reproduction's
+claims depend on: bit-determinism (no unseeded RNG, no wall-clock
+reads in simulated code), numeric safety (no float equality), and
+schema/doc coherence (event taxonomy vs. telemetry, scheduler registry
+vs. README/tests). ``repro lint`` is the CLI shell around
+:func:`~repro.analysis.runner.lint_repo`; findings can be suppressed
+per line (``# lint: allow[rule-id]``) or via the checked-in baseline
+(:mod:`baseline`). See ``docs/static-analysis.md``.
+"""
+
+from . import rules  # register the built-in rule set
+from .base import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    available_rules,
+    rule,
+    rule_class,
+    run_file_rules,
+)
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .findings import Finding, Severity
+from .runner import LintReport, format_findings, lint_repo, lint_source
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "FileContext",
+    "ProjectContext",
+    "rule",
+    "rule_class",
+    "available_rules",
+    "run_file_rules",
+    "LintReport",
+    "lint_repo",
+    "lint_source",
+    "format_findings",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,102 @@
+"""Suppression baseline for the invariant linter.
+
+The baseline is a checked-in JSON file (``lint-baseline.json`` at the
+repo root) listing *known, accepted* findings so a new rule can land as
+a blocking gate without first fixing the whole tree. Entries match by
+:meth:`repro.analysis.findings.Finding.fingerprint` — rule id, path and
+the stripped source text — not by line number, so edits elsewhere in a
+file do not resurrect suppressed findings. Each fingerprint carries a
+count: fixing some (but not all) identical occurrences still shrinks
+the baseline debt.
+
+Workflow:
+
+* ``repro lint`` applies the baseline automatically when the file
+  exists (``--no-baseline`` shows everything);
+* ``repro lint --write-baseline`` rewrites it from the current
+  findings — run after intentionally accepting new debt, review the
+  diff like code;
+* an entry that no longer matches anything is *stale*; the runner
+  reports stale entries so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .findings import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Read a baseline file into a fingerprint -> count multiset."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = raw.get("suppressions", raw) if isinstance(raw, dict) else raw
+    if not isinstance(entries, list):
+        raise ValueError(
+            f"baseline {path} must hold a list of suppressions"
+        )
+    counts: Counter = Counter()
+    for entry in entries:
+        fp: Fingerprint = (
+            str(entry["rule"]),
+            str(entry["path"]),
+            str(entry.get("code", "")),
+        )
+        counts[fp] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> None:
+    """Serialise current findings as the new accepted baseline."""
+    counts: Counter = Counter(f.fingerprint() for f in findings)
+    entries: List[Dict[str, object]] = [
+        {"rule": rule, "path": mod, "code": code, "count": n}
+        for (rule, mod, code), n in sorted(counts.items())
+    ]
+    payload = {
+        "comment": (
+            "accepted repro-lint findings; regenerate with "
+            "`repro lint --write-baseline` and review the diff"
+        ),
+        "suppressions": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Fingerprint]]:
+    """Split findings into (kept, stale-baseline-entries).
+
+    Each baseline count suppresses that many matching findings; the
+    rest are kept. Entries whose budget is not fully consumed are
+    returned as stale so callers can demand baseline hygiene.
+    """
+    budget = Counter(baseline)
+    kept: List[Finding] = []
+    for f in sorted(findings, key=Finding.sort_key):
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            kept.append(f)
+    stale = sorted(fp for fp, n in budget.items() if n > 0)
+    return kept, stale

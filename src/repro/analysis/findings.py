@@ -1,0 +1,81 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` pins one invariant violation to a file/line and the
+rule that raised it. Findings are value objects: the runner sorts,
+deduplicates and serialises them, and the suppression baseline matches
+them by :meth:`Finding.fingerprint` (rule + path + source text, not the
+line *number*, so unrelated edits above a suppressed finding do not
+invalidate the baseline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How hard a finding should fail the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Registry key of the rule that fired (e.g. ``no-wall-clock``).
+    path:
+        Repo-relative posix path of the offending file.
+    line, col:
+        1-based line and 0-based column of the flagged node.
+    message:
+        Human-readable explanation with the suggested fix.
+    severity:
+        :class:`Severity`; only errors fail ``repro lint``.
+    code:
+        The stripped source line, used for baseline fingerprints and
+        text output.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    code: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline."""
+        return (self.rule_id, self.path, self.code)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload for ``repro lint --format json``."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "code": self.code,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering (``path:line: [rule] message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity.value}[{self.rule_id}] {self.message}"
+        )

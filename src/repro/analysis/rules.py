@@ -1,0 +1,570 @@
+"""The repo's invariant rules.
+
+Each rule mechanically enforces one reproducibility contract that the
+paper's claims rest on (see ``docs/static-analysis.md`` for the full
+rationale and the fix recipes):
+
+* ``no-unseeded-rng`` — all randomness flows through explicitly seeded
+  :class:`numpy.random.Generator` objects; the legacy global-state APIs
+  (``np.random.rand``, stdlib ``random``) and argument-less
+  ``default_rng()`` silently break run-to-run determinism.
+* ``no-wall-clock`` — the simulation packages answer in *virtual*
+  seconds; a stray ``time.time()`` / ``datetime.now()`` couples results
+  to the host. ``time.perf_counter`` (monotonic, duration-only) is the
+  sanctioned clock for measuring solver/CLI runtime.
+* ``no-float-equality`` — ``==`` / ``!=`` on float-valued expressions
+  makes tie-breaking depend on rounding; use :func:`math.isclose` /
+  :func:`numpy.isclose` or an ordering comparison.
+* ``event-schema-sync`` — every event dataclass in
+  ``repro/engine/events.py`` carries a unique ``kind`` string, only
+  JSON-serialisable fields, and is exported via ``__all__`` (the
+  telemetry JSONL schema is exactly these fields).
+* ``registry-doc-drift`` — every registered scheduler name appears in
+  the README scheduler table and in at least one ``tests/sched``
+  module, so docs and coverage cannot drift from the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .base import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    rule,
+)
+from .findings import Finding
+
+__all__ = [
+    "NoUnseededRng",
+    "NoWallClock",
+    "NoFloatEquality",
+    "EventSchemaSync",
+    "RegistryDocDrift",
+]
+
+
+def _in_packages(module: str, packages: Tuple[str, ...]) -> bool:
+    """Whether a repo-relative path sits in one of the given
+    ``src/repro`` sub-packages."""
+    return any(
+        module.startswith(f"src/repro/{pkg}/") for pkg in packages
+    )
+
+
+# ---------------------------------------------------------------------------
+# no-unseeded-rng
+# ---------------------------------------------------------------------------
+
+#: numpy.random attributes that are fine to touch (Generator-era API)
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+@rule("no-unseeded-rng")
+class NoUnseededRng(FileRule):
+    """Ban global-state RNG APIs and argument-less ``default_rng()``."""
+
+    description = (
+        "randomness must come from an explicitly seeded "
+        "numpy.random.Generator"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: str) -> bool:
+        # the CLI is the seam where user-facing seeds enter; everything
+        # under src/repro otherwise is in scope
+        return (
+            module.startswith("src/repro/")
+            and module != "src/repro/cli.py"
+            and module.endswith(".py")
+        )
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            attr = dotted.split(".")[-1]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "default_rng() without a seed is entropy-"
+                        "seeded; pass an explicit seed or thread a "
+                        "Generator through",
+                    )
+            elif attr == "RandomState" or attr not in _NP_RANDOM_OK:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"legacy global-state RNG call numpy.random.{attr};"
+                    " use an explicitly seeded "
+                    "numpy.random.default_rng(seed) Generator",
+                )
+        elif dotted.startswith("random.") and self._imports_stdlib_random(
+            ctx
+        ):
+            attr = dotted.split(".", 1)[1]
+            yield ctx.finding(
+                self.id,
+                node,
+                f"stdlib random.{attr} uses hidden global state; use "
+                "an explicitly seeded numpy.random.default_rng(seed)",
+            )
+
+    @staticmethod
+    def _imports_stdlib_random(ctx: FileContext) -> bool:
+        # match the bound module, not the local alias: `import random
+        # as rnd` must still count as a stdlib-random import
+        if any(mod == "random" for mod in ctx.imports.values()):
+            return True
+        return any(
+            mod == "random" for mod, _ in ctx.from_imports.values()
+        )
+
+
+# ---------------------------------------------------------------------------
+# no-wall-clock
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: packages whose notion of time is the simulated clock
+_SIMULATED_TIME_PACKAGES = ("core", "engine", "sched", "network")
+
+
+@rule("no-wall-clock")
+class NoWallClock(FileRule):
+    """Ban host wall-clock reads where time must be simulated (or, in
+    the CLI, monotonic: ``time.perf_counter`` is the one allowed
+    duration clock)."""
+
+    description = (
+        "simulation packages use virtual time; durations use "
+        "time.perf_counter"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: str) -> bool:
+        return (
+            _in_packages(module, _SIMULATED_TIME_PACKAGES)
+            or module == "src/repro/cli.py"
+        )
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = ctx.dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            yield ctx.finding(
+                self.id,
+                node,
+                f"wall-clock read {dotted}() is not monotonic and "
+                "couples results to the host; simulated code must use "
+                "the engine clock, and CLI duration measurements must "
+                "use time.perf_counter()",
+            )
+
+
+# ---------------------------------------------------------------------------
+# no-float-equality
+# ---------------------------------------------------------------------------
+
+#: packages doing float arithmetic where == is a latent tie-break bug
+_NUMERIC_PACKAGES = (
+    "core",
+    "sched",
+    "engine",
+    "network",
+    "device",
+    "models",
+    "profiling",
+    "data",
+)
+
+_FLOAT_CASTS = frozenset(
+    {"float", "numpy.float64", "numpy.float32", "numpy.float16"}
+)
+
+
+@rule("no-float-equality")
+class NoFloatEquality(FileRule):
+    """Flag ``==`` / ``!=`` where an operand is visibly float-valued.
+
+    Purely syntactic (no type inference): an operand counts as float
+    when it is a float literal, a ``float(...)``-style cast, a true
+    division, or a unary sign of one of those. That catches the
+    dangerous spellings (``x == 0.5``, ``a / b != c``) without false
+    alarms on integer comparisons.
+    """
+
+    description = (
+        "float ==/!= is rounding-dependent; use math.isclose / "
+        "np.isclose or an ordering comparison"
+    )
+    node_types = (ast.Compare,)
+
+    def applies_to(self, module: str) -> bool:
+        return _in_packages(module, _NUMERIC_PACKAGES)
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if self._floaty(left, ctx) or self._floaty(right, ctx):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "equality on a float-valued expression depends on "
+                    "rounding; use math.isclose / np.isclose (or <=/>= "
+                    "for guards on non-negative quantities)",
+                )
+
+    def _floaty(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._floaty(node.operand, ctx)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floaty(node.left, ctx) or self._floaty(
+                node.right, ctx
+            )
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            return dotted in _FLOAT_CASTS
+        return False
+
+
+# ---------------------------------------------------------------------------
+# event-schema-sync
+# ---------------------------------------------------------------------------
+
+#: annotation names that serialise losslessly through json.dumps
+_JSON_SAFE_NAMES = frozenset(
+    {"int", "float", "str", "bool", "None"}
+)
+_JSON_SAFE_CONTAINERS = frozenset(
+    {"Tuple", "tuple", "List", "list", "Dict", "dict", "Optional",
+     "Union", "Sequence", "Mapping"}
+)
+
+
+@rule("event-schema-sync")
+class EventSchemaSync(FileRule):
+    """Keep the engine event taxonomy telemetry-safe.
+
+    Every class deriving (transitively) from ``EngineEvent`` must:
+    declare ``kind`` as a ``ClassVar[str]`` string literal, keep that
+    string unique across the file, restrict its dataclass fields to
+    JSON-serialisable annotations, and be exported in ``__all__`` —
+    the JSONL telemetry schema is exactly this contract.
+    """
+
+    description = (
+        "engine events need unique kind strings, JSON-safe fields and "
+        "an __all__ export"
+    )
+    node_types = (ast.ClassDef,)
+
+    def __init__(self) -> None:
+        self._event_classes: Set[str] = {"EngineEvent"}
+        self._kinds: Dict[str, Tuple[str, ast.ClassDef]] = {}
+        self._seen: List[ast.ClassDef] = []
+
+    def applies_to(self, module: str) -> bool:
+        return module.endswith("engine/events.py")
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if node.name == "EngineEvent":
+            return
+        base_names = {
+            b.id for b in node.bases if isinstance(b, ast.Name)
+        }
+        if not (base_names & self._event_classes):
+            return
+        self._event_classes.add(node.name)
+        self._seen.append(node)
+
+        kind_node = self._kind_assignment(node)
+        if kind_node is None:
+            yield ctx.finding(
+                self.id,
+                node,
+                f"event class {node.name} must declare "
+                "kind: ClassVar[str] = \"<stable-string>\"",
+            )
+        else:
+            assert isinstance(kind_node.value, ast.Constant)
+            kind = kind_node.value.value
+            if kind in self._kinds:
+                other, _ = self._kinds[kind]
+                yield ctx.finding(
+                    self.id,
+                    kind_node,
+                    f"duplicate event kind {kind!r}: {node.name} "
+                    f"collides with {other} (telemetry consumers key "
+                    "on the kind string)",
+                )
+            else:
+                self._kinds[kind] = (node.name, node)
+
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "kind"
+            ):
+                continue
+            if self._is_classvar(stmt.annotation):
+                continue
+            if not self._json_safe(stmt.annotation):
+                target = (
+                    stmt.target.id
+                    if isinstance(stmt.target, ast.Name)
+                    else "<field>"
+                )
+                yield ctx.finding(
+                    self.id,
+                    stmt,
+                    f"field {node.name}.{target} has a non-JSON-"
+                    "serialisable annotation "
+                    f"{ast.unparse(stmt.annotation)}; events stream "
+                    "through json.dumps unmodified",
+                )
+
+    def finish(self, ctx: FileContext) -> Iterable[Finding]:
+        exported = self._module_all(ctx.tree)
+        if exported is None:
+            return
+        for node in self._seen:
+            if node.name not in exported:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"event class {node.name} missing from __all__ "
+                    "(the public taxonomy must list every event)",
+                )
+
+    @staticmethod
+    def _kind_assignment(
+        node: ast.ClassDef,
+    ) -> Optional[ast.AnnAssign]:
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "kind"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and EventSchemaSync._is_classvar(stmt.annotation)
+            ):
+                return stmt
+        return None
+
+    @staticmethod
+    def _is_classvar(annotation: ast.AST) -> bool:
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            return (
+                isinstance(base, ast.Name) and base.id == "ClassVar"
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr == "ClassVar"
+            )
+        return False
+
+    @classmethod
+    def _json_safe(cls, annotation: ast.AST) -> bool:
+        if isinstance(annotation, ast.Constant):
+            # e.g. the `None` half of Optional written as a constant
+            return annotation.value is None
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _JSON_SAFE_NAMES
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in _JSON_SAFE_NAMES
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            base_name = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr
+                if isinstance(base, ast.Attribute)
+                else None
+            )
+            if base_name not in _JSON_SAFE_CONTAINERS:
+                return False
+            inner = annotation.slice
+            parts = (
+                list(inner.elts)
+                if isinstance(inner, ast.Tuple)
+                else [inner]
+            )
+            return all(
+                cls._json_safe(p)
+                for p in parts
+                if not (
+                    isinstance(p, ast.Constant) and p.value is Ellipsis
+                )
+            )
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            # PEP 604 unions: int | None
+            return cls._json_safe(annotation.left) and cls._json_safe(
+                annotation.right
+            )
+        return False
+
+    @staticmethod
+    def _module_all(tree: ast.Module) -> Optional[Set[str]]:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [
+                    t.id
+                    for t in stmt.targets
+                    if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets and isinstance(
+                    stmt.value, (ast.List, ast.Tuple)
+                ):
+                    return {
+                        e.value
+                        for e in stmt.value.elts
+                        if isinstance(e, ast.Constant)
+                        and isinstance(e.value, str)
+                    }
+        return None
+
+
+# ---------------------------------------------------------------------------
+# registry-doc-drift
+# ---------------------------------------------------------------------------
+
+
+@rule("registry-doc-drift")
+class RegistryDocDrift(ProjectRule):
+    """Registered scheduler names must appear in the README table and
+    in at least one ``tests/sched`` module."""
+
+    description = (
+        "scheduler registry, README table and tests/sched coverage "
+        "must agree"
+    )
+
+    def check_project(
+        self, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        registered = self._registered_names(ctx)
+        if not registered:
+            return
+        readme = ctx.read_text("README.md") or ""
+        test_blob = "\n".join(
+            p.read_text(encoding="utf-8")
+            for p in ctx.glob("tests/sched/*.py")
+        )
+        for name, module, node in registered:
+            if f"`{name}`" not in readme:
+                yield Finding(
+                    rule_id=self.id,
+                    path=module,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"scheduler {name!r} is registered but missing "
+                        "from the README scheduler table (add a "
+                        f"`{name}` row)"
+                    ),
+                    code=ctx.files[module].line_text(node.lineno)
+                    if module in ctx.files
+                    else "",
+                )
+            if not re.search(
+                rf"""["']{re.escape(name)}["']""", test_blob
+            ):
+                yield Finding(
+                    rule_id=self.id,
+                    path=module,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"scheduler {name!r} is registered but no "
+                        "tests/sched module exercises it by name"
+                    ),
+                    code=ctx.files[module].line_text(node.lineno)
+                    if module in ctx.files
+                    else "",
+                )
+
+    @staticmethod
+    def _registered_names(
+        ctx: ProjectContext,
+    ) -> List[Tuple[str, str, ast.AST]]:
+        """(name, module, registration node) for every @register."""
+        out: List[Tuple[str, str, ast.AST]] = []
+        for module, fctx in sorted(ctx.files.items()):
+            if not module.startswith("src/repro/sched/"):
+                continue
+            for node in ast.walk(fctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for deco in node.decorator_list:
+                    if not isinstance(deco, ast.Call):
+                        continue
+                    func = deco.func
+                    fn_name = (
+                        func.id
+                        if isinstance(func, ast.Name)
+                        else func.attr
+                        if isinstance(func, ast.Attribute)
+                        else None
+                    )
+                    if fn_name != "register":
+                        continue
+                    if deco.args and isinstance(
+                        deco.args[0], ast.Constant
+                    ):
+                        value = deco.args[0].value
+                        if isinstance(value, str):
+                            out.append((value, module, deco))
+        return out

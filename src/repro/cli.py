@@ -72,7 +72,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     def run_targets(aggregator=None) -> None:
         for name in targets:
-            t0 = time.time()
+            # perf_counter: wall clock is not monotonic (NTP steps would
+            # skew or even negate the reported duration)
+            t0 = time.perf_counter()
             seen = len(aggregator.events) if aggregator is not None else 0
             result = EXPERIMENTS[name].run()
             if aggregator is not None:
@@ -81,7 +83,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 )
             text = result.to_table()
             print(text)
-            print(f"[{name} finished in {time.time() - t0:.1f} s]\n")
+            print(f"[{name} finished in {time.perf_counter() - t0:.1f} s]\n")
             if out_dir:
                 (out_dir / f"{name}.txt").write_text(text + "\n")
 
@@ -276,7 +278,7 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
         names = list(available_schedulers())
 
     def run_compare() -> None:
-        t0 = time.time()
+        t0 = time.perf_counter()
         problem = testbed_problem(
             testbed,
             dataset=args.dataset,
@@ -295,7 +297,10 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
         )
         rows = compare(problem, names, bus=EventBus())
         print(format_table(rows))
-        print(f"[compared {len(rows)} schedulers in {time.time() - t0:.1f} s]")
+        print(
+            "[compared "
+            f"{len(rows)} schedulers in {time.perf_counter() - t0:.1f} s]"
+        )
 
     status = 0
     aggregator = None
@@ -314,6 +319,47 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
             f"{args.telemetry}]"
         )
     return status
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        available_rules,
+        format_findings,
+        lint_repo,
+        rule_class,
+        write_baseline,
+    )
+
+    root = Path(args.root).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(
+            f"error: {root} does not look like a repo checkout "
+            "(no src/repro); pass --root",
+            file=sys.stderr,
+        )
+        return 2
+    if args.list_rules:
+        print("registered lint rules (repro.analysis):")
+        for rid in available_rules():
+            print(f"  {rid:20s} {rule_class(rid).description}")
+        return 0
+    report = lint_repo(
+        root,
+        paths=args.paths or None,
+        baseline=args.baseline,
+        use_baseline=not args.no_baseline,
+    )
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else root / (
+            "lint-baseline.json"
+        )
+        write_baseline(target, report.findings)
+        print(
+            f"wrote {len(report.findings)} suppression(s) -> {target}"
+        )
+        return 0
+    print(format_findings(report, fmt=args.format))
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -422,6 +468,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream schedule_computed events to a JSON-lines file",
     )
     p_scmp.set_defaults(func=cmd_sched_compare)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo invariant linter (repro.analysis)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppression baseline file "
+        "(default: <root>/lint-baseline.json when present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the suppression baseline entirely",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings as the new baseline",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_tr = sub.add_parser(
         "trace", help="trace one device under sustained training"

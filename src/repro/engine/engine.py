@@ -23,7 +23,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -45,11 +53,55 @@ from .events import (
     RoundCompleted,
     ScheduleComputed,
 )
-from .execution import evaluate_accuracy, train_local
+from .execution import LocalTrainingResult, evaluate_accuracy, train_local
 from .telemetry import ConvergenceHistory, RoundRecord
 from .topology import StarTopology, Topology
 
-__all__ = ["AsyncUpdate", "RoundEngine"]
+if TYPE_CHECKING:
+    from ..federated.dropout import DropoutPolicy
+    from ..sched.base import Assignment
+
+__all__ = [
+    "AsyncUpdate",
+    "RoundEngine",
+    "ParameterServerLike",
+    "SchedulerBindingLike",
+    "SupportsMix",
+]
+
+
+class ParameterServerLike(Protocol):
+    """What the sync driver needs from a parameter server.
+
+    Structural so :mod:`repro.federated.server` can depend on the
+    engine rather than the other way around.
+    """
+
+    model: Sequential
+    round_idx: int
+
+    def global_weights(self) -> np.ndarray: ...
+
+
+class SchedulerBindingLike(Protocol):
+    """What the sync driver needs from a bound round planner (see
+    :class:`repro.sched.binding.EngineSchedulerBinding`)."""
+
+    def plan_round(
+        self,
+        engine: "RoundEngine",
+        round_idx: int,
+        eligible: Sequence[int],
+    ) -> "Assignment": ...
+
+
+@runtime_checkable
+class SupportsMix(Protocol):
+    """An aggregation strategy with a gossip mixing step."""
+
+    name: str
+
+    def mix(self, replicas: np.ndarray) -> np.ndarray: ...
 
 
 @dataclass
@@ -93,7 +145,7 @@ class RoundEngine:
         topology: Optional[Topology] = None,
         devices: Optional[Sequence[MobileDevice]] = None,
         links: Optional[Sequence[Link]] = None,
-        dropout=None,
+        dropout: Optional["DropoutPolicy"] = None,
         *,
         batch_size: int = 20,
         local_epochs: int = 1,
@@ -143,17 +195,18 @@ class RoundEngine:
         self.history = ConvergenceHistory()
         self.clock_s = 0.0
 
-        #: bound by the sync façade (duck-typed: global_weights(),
-        #: round_idx, model); the engine never constructs one so the
-        #: server module can depend on the engine, not vice versa.
-        self.server = None
+        #: bound by the sync façade (structurally typed via
+        #: :class:`ParameterServerLike`); the engine never constructs
+        #: one so the server module can depend on the engine, not vice
+        #: versa.
+        self.server: Optional[ParameterServerLike] = None
 
-        #: optional repro.sched planner (duck-typed: plan_round(engine,
-        #: round_idx, eligible) -> Assignment); bound via
-        #: bind_scheduler so repro.sched depends on the engine, not
-        #: vice versa. When set, each sync round's per-user sample
-        #: counts come from the planned assignment.
-        self.scheduler_binding = None
+        #: optional repro.sched planner (structurally typed via
+        #: :class:`SchedulerBindingLike`); bound via bind_scheduler so
+        #: repro.sched depends on the engine, not vice versa. When set,
+        #: each sync round's per-user sample counts come from the
+        #: planned assignment.
+        self.scheduler_binding: Optional[SchedulerBindingLike] = None
         self._round_samples: Optional[np.ndarray] = None
 
         # -- async driver state ------------------------------------------
@@ -169,11 +222,13 @@ class RoundEngine:
         self.round_idx = 0
 
     # -- shared substrate helpers ----------------------------------------
-    def bind_server(self, server) -> None:
+    def bind_server(self, server: ParameterServerLike) -> None:
         """Attach the parameter server the sync driver aggregates into."""
         self.server = server
 
-    def bind_scheduler(self, binding) -> None:
+    def bind_scheduler(
+        self, binding: Optional[SchedulerBindingLike]
+    ) -> None:
         """Attach a per-round shard planner (see
         :class:`repro.sched.binding.EngineSchedulerBinding`); pass
         ``None`` to detach and return to the users' native data sizes."""
@@ -226,7 +281,7 @@ class RoundEngine:
 
     def _train_client(
         self, j: int, start_weights: np.ndarray, epochs: int
-    ):
+    ) -> LocalTrainingResult:
         """Local SGD for user j from the given starting weights."""
         indices = self.users[j].indices
         if self._round_samples is not None:
@@ -305,7 +360,8 @@ class RoundEngine:
         ``train=False`` skips the actual SGD and aggregation (used by
         timing-only experiments, e.g. Fig. 5/7 makespan grids).
         """
-        if self.server is None:
+        server = self.server
+        if server is None:
             raise RuntimeError(
                 "no parameter server bound (call bind_server first)"
             )
@@ -319,7 +375,7 @@ class RoundEngine:
                     "every data-holding device is below min_soc"
                 )
             raise RuntimeError("no user holds any data")
-        round_idx = self.server.round_idx + 1
+        round_idx = server.round_idx + 1
         if self.scheduler_binding is not None:
             assignment = self.scheduler_binding.plan_round(
                 self, round_idx, eligible
@@ -376,7 +432,7 @@ class RoundEngine:
         self._idle_to_barrier(times, makespan)
 
         if train:
-            global_w = self.server.global_weights()
+            global_w = server.global_weights()
             weight_vectors: List[np.ndarray] = []
             counts: List[int] = []
             for j in aggregators:
@@ -388,28 +444,28 @@ class RoundEngine:
             new_weights = self.strategy.aggregate(
                 weight_vectors, counts, global_weights=global_w
             )
-            self.server.model.set_weights(new_weights)
-            self.server.round_idx += 1
+            server.model.set_weights(new_weights)
+            server.round_idx += 1
             self.bus.emit(
                 ModelAggregated(
                     round_idx=round_idx,
                     participants=tuple(aggregators),
                     strategy=self.strategy.name,
-                    version=self.server.round_idx,
+                    version=server.round_idx,
                     time_s=self.clock_s + makespan,
                 )
             )
         else:
-            self.server.round_idx += 1
+            server.round_idx += 1
 
         accuracy: Optional[float] = None
-        if train and (self.server.round_idx % self.eval_every == 0):
+        if train and (server.round_idx % self.eval_every == 0):
             accuracy = evaluate_accuracy(
-                self.server.model, self.dataset.x_test, self.dataset.y_test
+                server.model, self.dataset.x_test, self.dataset.y_test
             )
         self.clock_s += makespan
         record = RoundRecord(
-            round_idx=self.server.round_idx,
+            round_idx=server.round_idx,
             makespan_s=makespan,
             mean_time_s=mean_t,
             accuracy=accuracy,
@@ -419,7 +475,7 @@ class RoundEngine:
         self.history.append(record)
         self.bus.emit(
             RoundCompleted(
-                round_idx=self.server.round_idx,
+                round_idx=server.round_idx,
                 makespan_s=makespan,
                 mean_time_s=mean_t,
                 participant_count=len(aggregators),
@@ -459,7 +515,12 @@ class RoundEngine:
 
     def _apply_async_update(self, j: int, time_s: float) -> AsyncUpdate:
         strategy = self._staleness_strategy()
-        result = self._train_client(j, self._start_weights[j], epochs=1)
+        start_weights = self._start_weights[j]
+        if start_weights is None:
+            raise RuntimeError(
+                f"user {j} has no in-flight epoch to apply"
+            )
+        result = self._train_client(j, start_weights, epochs=1)
         staleness = self.version - self._pulled_version[j]
         new, mix = strategy.merge(
             self.model.get_weights(), result.weights, staleness
@@ -513,7 +574,7 @@ class RoundEngine:
             raise ValueError("horizon_s must be positive")
         self._staleness_strategy()
         start_count = len(self.updates)
-        heap: List = []
+        heap: List[Tuple[float, int]] = []
         for j, user in enumerate(self.users):
             if user.size == 0:
                 continue
@@ -550,10 +611,13 @@ class RoundEngine:
 
     def run_gossip_round(self) -> None:
         """One decentralized round: local SGD then one gossip step."""
-        if self.replicas is None:
-            self.init_replicas()
+        replicas = (
+            self.replicas
+            if self.replicas is not None
+            else self.init_replicas()
+        )
         mixer = self.strategy
-        if not hasattr(mixer, "mix"):
+        if not isinstance(mixer, SupportsMix):
             raise TypeError(
                 "the gossip driver needs a strategy with a mix() step"
             )
@@ -575,9 +639,9 @@ class RoundEngine:
                     j, epochs=self.local_epochs
                 )
             result = self._train_client(
-                j, self.replicas[j], epochs=self.local_epochs
+                j, replicas[j], epochs=self.local_epochs
             )
-            self.replicas[j] = result.weights
+            replicas[j] = result.weights
             self.bus.emit(
                 ClientFinished(
                     round_idx=round_idx,
@@ -589,7 +653,7 @@ class RoundEngine:
                 )
             )
         # Gossip: every replica mixes with its neighbours.
-        self.replicas = mixer.mix(self.replicas)
+        self.replicas = mixer.mix(replicas)
         self.round_idx += 1
         trained = [j for j, u in enumerate(self.users) if u.size > 0]
         makespan = float(times.max()) if self.devices is not None else 0.0

@@ -29,7 +29,7 @@ All events are frozen dataclasses with a stable ``kind`` string and a
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Callable, ClassVar, List, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, cast
 
 __all__ = [
     "EngineEvent",
@@ -48,10 +48,11 @@ class EngineEvent:
 
     kind: ClassVar[str] = "event"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         """JSON-safe payload: ``{"event": kind, ...fields}``."""
-        payload = {"event": self.kind}
-        for key, value in asdict(self).items():
+        payload: Dict[str, object] = {"event": self.kind}
+        # every concrete event is a dataclass; the base class is not
+        for key, value in asdict(cast(Any, self)).items():
             if isinstance(value, tuple):
                 value = list(value)
             payload[key] = value

@@ -30,7 +30,7 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Dict, Iterator, List, Optional, Union
+from typing import IO, Dict, Iterator, List, Optional, Union, cast
 
 import numpy as np
 
@@ -98,7 +98,7 @@ class ConvergenceHistory:
         ms = self.makespans()
         return float(np.mean(ms)) if ms else 0.0
 
-    def to_csv(self, path) -> None:
+    def to_csv(self, path: Union[str, Path]) -> None:
         """Write the per-round records as CSV for external analysis."""
         import csv
 
@@ -128,16 +128,16 @@ class ConvergenceHistory:
 class JsonlSink:
     """Stream events to a JSON-lines file (one event per line)."""
 
-    def __init__(self, target: Union[str, "IO[str]"]) -> None:
-        if hasattr(target, "write"):
-            self._fh: IO[str] = target  # type: ignore[assignment]
-            self._owns = False
-        else:
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
             parent = Path(target).parent
-            if parent and not parent.exists():
+            if not parent.exists():
                 parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(target, "w")
+            self._fh: IO[str] = open(target, "w")
             self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
         self.n_events = 0
 
     def __call__(self, event: EngineEvent) -> None:
@@ -158,13 +158,13 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-def read_jsonl(path) -> List[dict]:
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
     """Parse a telemetry JSON-lines file back into event dicts."""
-    events = []
+    events: List[Dict[str, object]] = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -221,11 +221,11 @@ class TelemetryAggregator:
             )
             self._pending_clients = []
 
-    def counts(self) -> Counter:
+    def counts(self) -> "Counter[str]":
         return Counter(e.kind for e in self.events)
 
     def round_makespans(self) -> List[float]:
-        return [float(r["makespan_s"]) for r in self.rounds]
+        return [float(cast(float, r["makespan_s"])) for r in self.rounds]
 
     def dispatch_count(self) -> int:
         return sum(
@@ -240,7 +240,7 @@ class TelemetryAggregator:
 
 @contextmanager
 def record_telemetry(
-    path=None,
+    path: Union[str, Path, None] = None,
 ) -> Iterator[TelemetryAggregator]:
     """Capture every engine event emitted while the context is active.
 

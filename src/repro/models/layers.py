@@ -579,7 +579,7 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        if not training or self.rate == 0.0:
+        if not training or self.rate <= 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate

@@ -45,7 +45,7 @@ class Link:
         self._rng = np.random.default_rng(self.seed)
 
     def _effective(self, nominal_mbps: float) -> float:
-        if self.jitter == 0.0:
+        if self.jitter <= 0.0:
             return nominal_mbps
         # Lognormal with mean 1: multiplicative fluctuation.
         factor = self._rng.lognormal(-0.5 * self.jitter**2, self.jitter)

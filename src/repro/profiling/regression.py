@@ -76,7 +76,7 @@ class LinearRegressor:
         pred = self.predict(x)
         ss_res = float(((y - pred) ** 2).sum())
         ss_tot = float(((y - y.mean()) ** 2).sum())
-        if ss_tot == 0.0:
+        if ss_tot <= 0.0:
             # Constant target: perfect iff residuals are numerically zero.
             scale = max(1.0, float((y**2).sum()))
             return 1.0 if ss_res < 1e-12 * scale else 0.0

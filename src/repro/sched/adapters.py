@@ -17,6 +17,8 @@ capacity-feasible allocations untouched.
 
 from __future__ import annotations
 
+from typing import Callable, List
+
 import numpy as np
 
 from ..core.baselines import (
@@ -74,7 +76,9 @@ def repair_to_capacities(
     return counts
 
 
-def _curves_from_matrix(problem: SchedulingProblem):
+def _curves_from_matrix(
+    problem: SchedulingProblem,
+) -> List[Callable[[float], float]]:
     """Shard-granular time curves read off the cost matrix.
 
     ``T_j(k * shard_size) = time_cost[j, k-1]``; used when a problem
@@ -85,7 +89,7 @@ def _curves_from_matrix(problem: SchedulingProblem):
     d = problem.shard_size
     s = problem.n_slots
 
-    def make(j: int):
+    def make(j: int) -> Callable[[float], float]:
         row = cost[j]
 
         def curve(n_samples: float) -> float:

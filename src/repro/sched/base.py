@@ -93,8 +93,14 @@ class SchedulingProblem:
     meta: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.time_cost = np.asarray(self.time_cost, dtype=np.float64)
+        # private copy: schedulers share one problem instance, so the
+        # matrices are frozen after validation — an adapter mutating
+        # its input would silently skew every scheduler run after it
+        self.time_cost = np.array(self.time_cost, dtype=np.float64)
         self.validate()
+        self.time_cost.flags.writeable = False
+        if self.energy_cost is not None:
+            self.energy_cost.flags.writeable = False
 
     # -- shape helpers ----------------------------------------------------
     @property
@@ -151,7 +157,7 @@ class SchedulingProblem:
             m = getattr(self, name)
             if m is None:
                 continue
-            m = np.asarray(m, dtype=np.float64)
+            m = np.array(m, dtype=np.float64)
             if m.shape != self.time_cost.shape:
                 raise ValueError(f"{name} shape must match time_cost")
             if not np.isfinite(m).all():

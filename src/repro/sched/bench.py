@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from ..core.accuracy_cost import AccuracyCostTracker
 from ..engine.events import EventBus, ScheduleComputed
@@ -138,7 +138,7 @@ def sweep(
     shard_size: int = 500,
     seed: int = 0,
     bus: Optional[EventBus] = None,
-    **problem_kwargs,
+    **problem_kwargs: Any,
 ) -> List[CompareRow]:
     """Testbeds × data sizes grid of :func:`compare` runs.
 
@@ -210,7 +210,7 @@ def format_table(rows: Sequence[CompareRow]) -> str:
         max(len(line[i]) for line in table)
         for i in range(len(headers))
     ]
-    lines = []
+    lines: List[str] = []
     for k, line in enumerate(table):
         lines.append(
             "  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip()

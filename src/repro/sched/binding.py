@@ -18,12 +18,23 @@ floor are excluded by zeroing their capacity for that round's instance.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from .base import Assignment, Scheduler, SchedulingProblem
 from .registry import get_scheduler
+
+if TYPE_CHECKING:  # avoid the runtime sched <-> engine import cycle
+    from ..engine.engine import RoundEngine
 
 __all__ = ["EngineSchedulerBinding", "problem_from_engine"]
 
@@ -31,7 +42,7 @@ SchedulerLike = Union[str, Scheduler, Callable[[int], Union[str, Scheduler]]]
 
 
 def problem_from_engine(
-    engine,
+    engine: "RoundEngine",
     shard_size: int = 100,
     with_energy: bool = True,
     alpha: float = 100.0,
@@ -80,8 +91,10 @@ def problem_from_engine(
             shards,
             shard_size,
         )
-    classes = [tuple(u.classes) for u in engine.users]
-    if not any(classes):
+    classes: Optional[List[Tuple[int, ...]]] = [
+        tuple(u.classes) for u in engine.users
+    ]
+    if classes is not None and not any(classes):
         classes = None
     return SchedulingProblem(
         time_cost=time_cost,
@@ -124,7 +137,7 @@ class EngineSchedulerBinding:
         self._shard_size = shard_size
         self._with_energy = with_energy
         #: assignments planned so far, in round order
-        self.assignments: list = []
+        self.assignments: List[Assignment] = []
 
     def _resolve(self, round_idx: int) -> Scheduler:
         choice = self._scheduler
@@ -139,7 +152,7 @@ class EngineSchedulerBinding:
             "a round_idx -> scheduler callable"
         )
 
-    def _instance(self, engine) -> SchedulingProblem:
+    def _instance(self, engine: "RoundEngine") -> SchedulingProblem:
         if self._problem is None:
             self._problem = problem_from_engine(
                 engine,
@@ -149,7 +162,7 @@ class EngineSchedulerBinding:
         return self._problem
 
     def plan_round(
-        self, engine, round_idx: int, eligible: Sequence[int]
+        self, engine: "RoundEngine", round_idx: int, eligible: Sequence[int]
     ) -> Assignment:
         """Plan one round over the currently eligible users."""
         problem = self._instance(engine)

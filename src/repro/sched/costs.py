@@ -54,8 +54,10 @@ DATASET_TOTALS: Dict[str, int] = {"mnist": 60_000, "cifar10": 50_000}
 
 _DATASET_SHAPES = {"mnist": MNIST_SHAPE, "cifar10": CIFAR_SHAPE}
 
-_TIME_CACHE: Dict[tuple, Callable[[float], float]] = {}
-_ENERGY_CACHE: Dict[tuple, Callable[[float], float]] = {}
+_CurveKey = Tuple[object, ...]
+
+_TIME_CACHE: Dict[_CurveKey, Callable[[float], float]] = {}
+_ENERGY_CACHE: Dict[_CurveKey, Callable[[float], float]] = {}
 
 
 def clear_cost_cache() -> None:
@@ -76,7 +78,7 @@ def cached_time_curves(
     is deterministic per phone model — same protocol as
     :func:`repro.experiments.testbeds.cached_time_curves`.
     """
-    curves = []
+    curves: List[Callable[[float], float]] = []
     for name in device_names:
         key = (
             name,
@@ -101,7 +103,7 @@ def cached_energy_curves(
     batch_size: int = 20,
 ) -> List[Callable[[float], float]]:
     """Affine ``E_j(n_samples)`` Joule curves from simulated anchors."""
-    curves = []
+    curves: List[Callable[[float], float]] = []
     for name in device_names:
         key = (
             name,

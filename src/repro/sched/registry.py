@@ -15,7 +15,7 @@ extra plumbing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type
+from typing import Any, Callable, Dict, Tuple, Type
 
 from .base import Scheduler
 
@@ -72,7 +72,7 @@ def scheduler_class(name: str) -> Type[Scheduler]:
     return _REGISTRY[key]
 
 
-def get_scheduler(name: str, **kwargs: object) -> Scheduler:
+def get_scheduler(name: str, **kwargs: Any) -> Scheduler:
     """Instantiate a registered scheduler by name."""
     return scheduler_class(name)(**kwargs)
 

@@ -1,0 +1,27 @@
+"""Good fixture: telemetry-safe event taxonomy."""
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+__all__ = ["EngineEvent", "RoundDone", "ClientSeen"]
+
+
+class EngineEvent:
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class RoundDone(EngineEvent):
+    kind: ClassVar[str] = "round_done"
+
+    round_idx: int
+    makespan_s: float
+    accuracy: Optional[float]
+
+
+@dataclass(frozen=True)
+class ClientSeen(EngineEvent):
+    kind: ClassVar[str] = "client_seen"
+
+    client_id: int
+    shard_counts: Tuple[int, ...]

@@ -1,0 +1,9 @@
+"""Bad fixture: rounding-dependent float comparisons."""
+
+
+def checks(x, a, b):
+    if x == 0.5:
+        return 1
+    if a / b != 1.0:
+        return 2
+    return float(x) == a

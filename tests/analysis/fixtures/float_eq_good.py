@@ -1,0 +1,11 @@
+"""Good fixture: tolerance and ordering comparisons."""
+
+import math
+
+
+def checks(x, a, b):
+    if math.isclose(x, 0.5):
+        return 1
+    if a <= 0.0:
+        return 2
+    return int(a) == int(b) and b >= 1.0

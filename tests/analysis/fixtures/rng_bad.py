@@ -1,0 +1,12 @@
+"""Bad fixture: every legacy global-state RNG spelling."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    a = np.random.rand(3)
+    rng = np.random.default_rng()
+    b = random.random()
+    return a, rng, b

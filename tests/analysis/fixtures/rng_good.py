@@ -1,0 +1,9 @@
+"""Good fixture: seeded Generator-era randomness only."""
+
+import numpy as np
+
+
+def sample(seed: int):
+    rng = np.random.default_rng(seed)
+    gen = np.random.Generator(np.random.PCG64(seed))
+    return rng.random(3), gen.standard_normal(3)

@@ -1,0 +1,10 @@
+"""Bad fixture: host wall-clock reads in simulated-time code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    now = datetime.now()
+    return t0, now

@@ -1,0 +1,8 @@
+"""Good fixture: monotonic duration clock only."""
+
+import time
+
+
+def measure():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

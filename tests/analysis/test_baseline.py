@@ -1,0 +1,82 @@
+"""Baseline workflow: suppress, shrink-only, stale detection."""
+
+from pathlib import Path
+
+from repro.analysis import (
+    apply_baseline,
+    lint_repo,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+BAD_ENGINE_FILE = "import time\n\nT0 = time.time()\n"
+GOOD_ENGINE_FILE = "import time\n\nT0 = time.perf_counter()\n"
+
+
+def make_repo(tmp_path: Path, source: str) -> Path:
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    (pkg / "clock.py").write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def test_baseline_suppresses_known_findings(tmp_path):
+    root = make_repo(tmp_path, BAD_ENGINE_FILE)
+    first = lint_repo(root)
+    assert first.exit_code == 1
+    assert len(first.findings) == 1
+
+    write_baseline(root / "lint-baseline.json", first.findings)
+    second = lint_repo(root)
+    assert second.exit_code == 0
+    assert second.findings == []
+    assert second.suppressed == 1
+
+
+def test_fixed_finding_makes_baseline_stale(tmp_path):
+    root = make_repo(tmp_path, BAD_ENGINE_FILE)
+    write_baseline(
+        root / "lint-baseline.json", lint_repo(root).findings
+    )
+    # fix the violation but leave the baseline entry behind
+    (root / "src" / "repro" / "engine" / "clock.py").write_text(
+        GOOD_ENGINE_FILE, encoding="utf-8"
+    )
+    report = lint_repo(root)
+    assert report.findings == []
+    assert report.stale_baseline  # debt may only shrink
+    assert report.exit_code == 1
+
+
+def test_no_baseline_flag_shows_everything(tmp_path):
+    root = make_repo(tmp_path, BAD_ENGINE_FILE)
+    write_baseline(
+        root / "lint-baseline.json", lint_repo(root).findings
+    )
+    report = lint_repo(root, use_baseline=False)
+    assert len(report.findings) == 1
+    assert report.exit_code == 1
+
+
+def test_roundtrip_and_counts(tmp_path):
+    f = Finding(
+        rule_id="no-wall-clock",
+        path="src/repro/engine/clock.py",
+        line=3,
+        message="m",
+        code="T0 = time.time()",
+    )
+    path = tmp_path / "b.json"
+    write_baseline(path, [f, f])
+    budget = load_baseline(path)
+    assert budget[f.fingerprint()] == 2
+
+    # two findings consume the budget exactly; a third is kept
+    kept, stale = apply_baseline([f, f, f], budget)
+    assert len(kept) == 1
+    assert stale == []
+    # under-consumed budget is reported stale
+    kept, stale = apply_baseline([f], budget)
+    assert kept == []
+    assert stale == [f.fingerprint()]

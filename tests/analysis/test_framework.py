@@ -1,0 +1,94 @@
+"""Framework-level behaviour: registry, suppression, fingerprints."""
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Severity,
+    available_rules,
+    lint_source,
+    rule_class,
+)
+
+EXPECTED_RULES = {
+    "event-schema-sync",
+    "no-float-equality",
+    "no-unseeded-rng",
+    "no-wall-clock",
+    "registry-doc-drift",
+}
+
+
+def test_all_five_rules_registered():
+    assert EXPECTED_RULES <= set(available_rules())
+
+
+def test_every_rule_has_a_description():
+    for rid in available_rules():
+        cls = rule_class(rid)
+        assert cls.id == rid
+        assert cls.description
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(KeyError):
+        lint_source("x = 1\n", "src/repro/core/x.py", ["no-such-rule"])
+
+
+def test_inline_allow_comment_suppresses():
+    flagged = "t = time.time()\n"
+    allowed = "t = time.time()  # lint: allow[no-wall-clock]\n"
+    prefix = "import time\n"
+    module = "src/repro/core/t.py"
+    assert len(lint_source(prefix + flagged, module)) == 1
+    assert lint_source(prefix + allowed, module) == []
+
+
+def test_inline_allow_is_per_rule():
+    # an allow for a different rule must not silence this one
+    source = (
+        "import time\n"
+        "t = time.time()  # lint: allow[no-float-equality]\n"
+    )
+    findings = lint_source(source, "src/repro/core/t.py")
+    assert [f.rule_id for f in findings] == ["no-wall-clock"]
+
+
+def test_fingerprint_survives_line_shifts():
+    body = "import time\nt = time.time()\n"
+    shifted = "import time\n\n\n# a comment\nt = time.time()\n"
+    module = "src/repro/core/t.py"
+    (a,) = lint_source(body, module)
+    (b,) = lint_source(shifted, module)
+    assert a.line != b.line
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_findings_are_sorted_and_renderable():
+    source = (
+        "import time\n"
+        "a = time.time()\n"
+        "b = 1.0 == x\n"
+        "c = time.time_ns()\n"
+    )
+    findings = lint_source(source, "src/repro/engine/multi.py")
+    assert [f.line for f in findings] == [2, 3, 4]
+    for f in findings:
+        assert f.severity is Severity.ERROR
+        rendered = f.render()
+        assert rendered.startswith(f"{f.path}:{f.line}:")
+        assert f.rule_id in rendered
+
+
+def test_finding_to_dict_is_json_shaped():
+    f = Finding(
+        rule_id="no-wall-clock",
+        path="src/repro/core/x.py",
+        line=3,
+        message="m",
+        code="t = time.time()",
+    )
+    d = f.to_dict()
+    assert d["rule"] == "no-wall-clock"
+    assert d["severity"] == "error"
+    assert d["line"] == 3

@@ -1,0 +1,85 @@
+"""The gate itself: the repo lints clean, and the CLI exit codes are
+wired so CI can block on them."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import available_rules, lint_repo
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (fixture, in-scope destination inside a pretend checkout)
+BAD_FIXTURES = [
+    ("rng_bad.py", "src/repro/device/rng_bad.py"),
+    ("wall_clock_bad.py", "src/repro/engine/wall_clock_bad.py"),
+    ("float_eq_bad.py", "src/repro/core/float_eq_bad.py"),
+    ("events_bad.py", "src/repro/engine/events.py"),
+]
+
+
+def test_repo_is_lint_clean():
+    """`repro lint` must exit 0 on this very checkout."""
+    report = lint_repo(REPO_ROOT)
+    assert [f.render() for f in report.findings] == []
+    assert report.parse_errors == []
+    assert report.stale_baseline == []
+    assert report.exit_code == 0
+    assert report.files_checked > 50
+    assert set(available_rules()) <= set(report.rules_run)
+
+
+def test_cli_lint_clean_on_repo(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+@pytest.mark.parametrize("fixture,dest", BAD_FIXTURES)
+def test_cli_exits_nonzero_on_bad_fixture(tmp_path, fixture, dest, capsys):
+    target = tmp_path / dest
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        (FIXTURES / fixture).read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    assert "error[" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "engine" / "clock.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "no-wall-clock"
+    assert finding["line"] == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT), "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in available_rules():
+        assert rid in out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "engine" / "clock.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    assert main(["lint", "--root", str(tmp_path), "--write-baseline"]) == 0
+    assert (tmp_path / "lint-baseline.json").is_file()
+    assert main(["lint", "--root", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_rejects_non_repo_root(tmp_path, capsys):
+    assert main(["lint", "--root", str(tmp_path)]) == 2
+    assert "src/repro" in capsys.readouterr().err

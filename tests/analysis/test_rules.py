@@ -1,0 +1,128 @@
+"""Golden-output tests: every rule fires on its bad fixture and stays
+silent on its good twin.
+
+Fixtures live under ``tests/analysis/fixtures/`` and are linted *as
+if* they sat at an in-scope path (``lint_source`` takes the pretend
+module path), so the scoping logic is exercised alongside the rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_fixture(name: str, module: str, rule_id: str):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, module, rule_ids=[rule_id])
+
+
+CASES = [
+    # (fixture, pretend module path, rule, expected finding lines)
+    (
+        "rng_bad.py",
+        "src/repro/device/rng_bad.py",
+        "no-unseeded-rng",
+        [9, 10, 11],
+    ),
+    (
+        "rng_good.py",
+        "src/repro/device/rng_good.py",
+        "no-unseeded-rng",
+        [],
+    ),
+    (
+        "wall_clock_bad.py",
+        "src/repro/engine/wall_clock_bad.py",
+        "no-wall-clock",
+        [8, 9],
+    ),
+    (
+        "wall_clock_good.py",
+        "src/repro/engine/wall_clock_good.py",
+        "no-wall-clock",
+        [],
+    ),
+    (
+        "float_eq_bad.py",
+        "src/repro/core/float_eq_bad.py",
+        "no-float-equality",
+        [5, 7, 9],
+    ),
+    (
+        "float_eq_good.py",
+        "src/repro/core/float_eq_good.py",
+        "no-float-equality",
+        [],
+    ),
+    (
+        "events_bad.py",
+        "src/repro/engine/events.py",
+        "event-schema-sync",
+        [21, 21, 26, 27, 33, 36],
+    ),
+    (
+        "events_good.py",
+        "src/repro/engine/events.py",
+        "event-schema-sync",
+        [],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "fixture,module,rule_id,lines",
+    CASES,
+    ids=[c[0].replace(".py", "") for c in CASES],
+)
+def test_fixture_golden_lines(fixture, module, rule_id, lines):
+    findings = run_fixture(fixture, module, rule_id)
+    assert [f.line for f in findings] == sorted(lines)
+    assert all(f.rule_id == rule_id for f in findings)
+    assert all(f.path == module for f in findings)
+
+
+def test_out_of_scope_module_is_ignored():
+    # the same bad RNG code outside src/repro is nobody's business
+    source = (FIXTURES / "rng_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "examples/demo.py") == []
+    # and the CLI is exempt from the RNG rule (seeds enter there)
+    assert (
+        lint_source(source, "src/repro/cli.py", ["no-unseeded-rng"])
+        == []
+    )
+
+
+def test_wall_clock_scope_excludes_device_package():
+    source = (FIXTURES / "wall_clock_bad.py").read_text(encoding="utf-8")
+    assert (
+        lint_source(
+            source, "src/repro/device/clock.py", ["no-wall-clock"]
+        )
+        == []
+    )
+
+
+def test_import_aliases_are_resolved():
+    source = (
+        "import numpy.random as nr\n"
+        "import random as rnd\n"
+        "x = nr.rand(3)\n"
+        "y = rnd.random()\n"
+    )
+    findings = lint_source(
+        source, "src/repro/core/aliased.py", ["no-unseeded-rng"]
+    )
+    assert [f.line for f in findings] == [3, 4]
+
+
+def test_messages_carry_the_fix():
+    findings = run_fixture(
+        "wall_clock_bad.py",
+        "src/repro/engine/wall_clock_bad.py",
+        "no-wall-clock",
+    )
+    assert "time.perf_counter" in findings[0].message

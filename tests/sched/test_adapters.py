@@ -123,8 +123,9 @@ class TestRandomReproducibility:
 
     def test_global_state_is_irrelevant(self, problem):
         a = get_scheduler("random").schedule(problem)
-        np.random.seed(12345)
-        np.random.random(100)
+        # deliberate global-state pollution: the scheduler must ignore it
+        np.random.seed(12345)  # noqa: NPY002
+        np.random.random(100)  # noqa: NPY002
         b = get_scheduler("random").schedule(problem)
         np.testing.assert_array_equal(a.shard_counts, b.shard_counts)
 
