@@ -143,3 +143,62 @@ def test_engine_overhead_under_budget():
     assert overhead < BUDGET, (
         f"engine overhead {overhead:.1%} exceeds {BUDGET:.0%} budget"
     )
+
+
+def _time_engine_with_obs(dataset, users):
+    from repro.obs import ObsRecorder
+
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    sim = FederatedSimulation(
+        dataset, model, users, devices=_fleet(),
+        config=SimulationConfig(),
+    )
+    recorder = ObsRecorder(trace=True)
+    sim.events.subscribe(recorder)
+    t0 = time.perf_counter()
+    history = sim.run(N_ROUNDS, train=False)
+    elapsed = time.perf_counter() - t0
+    recorder.finish_spans()
+    assert recorder.n_events > 0
+    return elapsed, history.makespans()
+
+
+def test_obs_recorder_overhead_under_budget():
+    """A full ObsRecorder (metrics + span tracing + energy ledger)
+    subscribed to the bus must stay within 5% of the bare engine."""
+    dataset = _dataset()
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, N_USERS, rng)
+
+    bare_times, obs_times = [], []
+    bare_spans = obs_spans = None
+    for _ in range(REPEATS):
+        t, bare_spans = _time_engine(dataset, users)
+        bare_times.append(t)
+        t, obs_spans = _time_engine_with_obs(dataset, users)
+        obs_times.append(t)
+
+    # observation must not perturb the physics
+    np.testing.assert_allclose(obs_spans, bare_spans)
+
+    bare_best = min(bare_times)
+    obs_best = min(obs_times)
+    overhead = (obs_best - bare_best) / bare_best
+
+    lines = [
+        "== obs_overhead: engine + ObsRecorder vs bare engine",
+        f"{N_USERS} users, {N_ROUNDS} timing-only rounds, "
+        f"best of {REPEATS} repeats, metrics + tracing on",
+        f"bare engine     {bare_best * 1000:8.1f} ms",
+        f"with recorder   {obs_best * 1000:8.1f} ms",
+        f"overhead        {overhead * 100:+8.2f} %  (budget {BUDGET:.0%})",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_overhead.txt").write_text(text + "\n")
+
+    assert overhead < BUDGET, (
+        f"obs overhead {overhead:.1%} exceeds {BUDGET:.0%} budget"
+    )

@@ -22,6 +22,9 @@ rationale and the fix recipes):
 * ``registry-doc-drift`` — every registered scheduler name appears in
   the README scheduler table and in at least one ``tests/sched``
   module, so docs and coverage cannot drift from the registry.
+* ``metric-doc-drift`` — every metric name registered in the
+  ``repro.obs`` catalog appears in ``docs/observability.md``, so the
+  metric reference cannot drift from the code.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ __all__ = [
     "NoFloatEquality",
     "EventSchemaSync",
     "RegistryDocDrift",
+    "MetricDocDrift",
 ]
 
 
@@ -159,7 +163,7 @@ _WALL_CLOCK_CALLS = frozenset(
 )
 
 #: packages whose notion of time is the simulated clock
-_SIMULATED_TIME_PACKAGES = ("core", "engine", "sched", "network")
+_SIMULATED_TIME_PACKAGES = ("core", "engine", "sched", "network", "obs")
 
 
 @rule("no-wall-clock")
@@ -210,6 +214,7 @@ _NUMERIC_PACKAGES = (
     "models",
     "profiling",
     "data",
+    "obs",
 )
 
 _FLOAT_CASTS = frozenset(
@@ -567,4 +572,89 @@ class RegistryDocDrift(ProjectRule):
                         value = deco.args[0].value
                         if isinstance(value, str):
                             out.append((value, module, deco))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# metric-doc-drift
+# ---------------------------------------------------------------------------
+
+
+@rule("metric-doc-drift")
+class MetricDocDrift(ProjectRule):
+    """Every metric registered in the :mod:`repro.obs` catalog must be
+    documented (as a backticked name) in ``docs/observability.md``."""
+
+    description = (
+        "repro.obs metric catalog and docs/observability.md must agree"
+    )
+
+    def check_project(
+        self, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        registered = self._registered_metrics(ctx)
+        if not registered:
+            return
+        doc = ctx.read_text("docs/observability.md")
+        if doc is None:
+            first_name, module, node = registered[0]
+            yield Finding(
+                rule_id=self.id,
+                path=module,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "metrics are registered (e.g. "
+                    f"{first_name!r}) but docs/observability.md "
+                    "does not exist"
+                ),
+                code=ctx.files[module].line_text(node.lineno)
+                if module in ctx.files
+                else "",
+            )
+            return
+        for name, module, node in registered:
+            if f"`{name}`" not in doc:
+                yield Finding(
+                    rule_id=self.id,
+                    path=module,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"metric {name!r} is registered but missing "
+                        "from docs/observability.md (add a "
+                        f"`{name}` row to the metric table)"
+                    ),
+                    code=ctx.files[module].line_text(node.lineno)
+                    if module in ctx.files
+                    else "",
+                )
+
+    @staticmethod
+    def _registered_metrics(
+        ctx: ProjectContext,
+    ) -> List[Tuple[str, str, ast.AST]]:
+        """(name, module, call node) for each ``register_metric`` call
+        with a literal name in ``src/repro/obs``."""
+        out: List[Tuple[str, str, ast.AST]] = []
+        for module, fctx in sorted(ctx.files.items()):
+            if not module.startswith("src/repro/obs/"):
+                continue
+            for node in ast.walk(fctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                fn_name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if fn_name != "register_metric":
+                    continue
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    value = node.args[0].value
+                    if isinstance(value, str):
+                        out.append((value, module, node))
         return out

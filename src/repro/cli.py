@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``):
     python -m repro devices                    # calibrated testbed summary
     python -m repro sched list                 # registered schedulers
     python -m repro sched compare --testbed A  # scheduler comparison
+    python -m repro obs summary run.jsonl      # telemetry dashboard
+    python -m repro obs export-prom run.jsonl  # Prometheus exposition
+    python -m repro obs export-trace run.jsonl # Perfetto/Chrome trace
 
 ``run`` uses each experiment's default (fast) configuration and prints
 the paper-style rows; ``--out DIR`` additionally archives them.
@@ -69,6 +72,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
     telemetry_path = getattr(args, "telemetry", None)
+    want_obs = bool(getattr(args, "obs", False))
 
     def run_targets(aggregator=None) -> None:
         for name in targets:
@@ -93,7 +97,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     status = 0
     aggregator = None
     try:
-        if telemetry_path:
+        if telemetry_path or want_obs:
             with record_telemetry(telemetry_path) as aggregator:
                 run_targets(aggregator)
         else:
@@ -106,6 +110,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"[telemetry: {len(aggregator.events)} events -> "
             f"{telemetry_path}]"
         )
+    if want_obs and aggregator is not None:
+        from .obs import ObsRecorder, render_summary
+
+        recorder = ObsRecorder(run_name=" ".join(targets))
+        for event in aggregator.events:
+            recorder(event)
+        print()
+        print(render_summary(recorder), end="")
     return status
 
 
@@ -321,6 +333,74 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
     return status
 
 
+def _load_recorder(args: argparse.Namespace):
+    """Build an ObsRecorder from the telemetry JSONL named in args."""
+    from .obs import ObsRecorder
+
+    path = Path(args.jsonl)
+    if not path.is_file():
+        print(f"error: no telemetry file at {path}", file=sys.stderr)
+        return None
+    recorder = ObsRecorder.from_jsonl(path)
+    if recorder.corrupt_lines:
+        print(
+            f"warning: skipped {recorder.corrupt_lines} corrupt "
+            f"line(s) in {path}",
+            file=sys.stderr,
+        )
+    return recorder
+
+
+def _emit(text: str, out: "str | None") -> None:
+    if out:
+        Path(out).write_text(text)
+        print(f"wrote {out} ({len(text.splitlines())} lines)")
+    else:
+        print(text, end="")
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    from .obs import render_summary
+
+    recorder = _load_recorder(args)
+    if recorder is None:
+        return 2
+    print(
+        render_summary(
+            recorder,
+            max_rounds=args.rounds,
+            max_clients=args.clients,
+        ),
+        end="",
+    )
+    return 0
+
+
+def cmd_obs_export_prom(args: argparse.Namespace) -> int:
+    from .obs import render_prometheus
+
+    recorder = _load_recorder(args)
+    if recorder is None:
+        return 2
+    info = {"source": Path(args.jsonl).name}
+    if recorder.schema_version is not None:
+        info["schema_version"] = str(recorder.schema_version)
+    _emit(render_prometheus(recorder.metrics, extra_info=info), args.out)
+    return 0
+
+
+def cmd_obs_export_trace(args: argparse.Namespace) -> int:
+    from .obs import render_trace_json
+
+    recorder = _load_recorder(args)
+    if recorder is None:
+        return 2
+    spans = recorder.finish_spans()
+    text = render_trace_json(spans, process_name=Path(args.jsonl).stem)
+    _emit(text + "\n", args.out)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import (
         available_rules,
@@ -386,6 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream engine events (per-client dispatch/finish, "
         "aggregations, round completions) to a JSON-lines file",
+    )
+    p_run.add_argument(
+        "--obs",
+        action="store_true",
+        help="capture engine events and print the observability "
+        "dashboard (metrics + energy ledger) after the run",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -468,6 +554,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream schedule_computed events to a JSON-lines file",
     )
     p_scmp.set_defaults(func=cmd_sched_compare)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability over saved telemetry (repro.obs)",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_osum = obs_sub.add_parser(
+        "summary",
+        help="render the terminal dashboard from a telemetry JSONL",
+    )
+    p_osum.add_argument("jsonl", help="telemetry JSON-lines file")
+    p_osum.add_argument(
+        "--rounds",
+        type=int,
+        default=10,
+        help="max round rows to show (default 10)",
+    )
+    p_osum.add_argument(
+        "--clients",
+        type=int,
+        default=12,
+        help="max client rows to show (default 12)",
+    )
+    p_osum.set_defaults(func=cmd_obs_summary)
+
+    p_oprom = obs_sub.add_parser(
+        "export-prom",
+        help="export metrics as Prometheus text exposition",
+    )
+    p_oprom.add_argument("jsonl", help="telemetry JSON-lines file")
+    p_oprom.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    p_oprom.set_defaults(func=cmd_obs_export_prom)
+
+    p_otrace = obs_sub.add_parser(
+        "export-trace",
+        help="export spans as Chrome/Perfetto trace-event JSON",
+    )
+    p_otrace.add_argument("jsonl", help="telemetry JSON-lines file")
+    p_otrace.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    p_otrace.set_defaults(func=cmd_obs_export_trace)
 
     p_lint = sub.add_parser(
         "lint",

@@ -104,6 +104,14 @@ class SupportsMix(Protocol):
     def mix(self, replicas: np.ndarray) -> np.ndarray: ...
 
 
+def _solve_ms_of(assignment: "Assignment") -> Optional[float]:
+    """Solver runtime a planner recorded on the assignment, if any."""
+    value = assignment.meta.get("solve_ms")
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
 @dataclass
 class AsyncUpdate:
     """One applied asynchronous update."""
@@ -216,6 +224,7 @@ class RoundEngine:
         self._pulled_version = [0] * n
         self._start_weights: List[Optional[np.ndarray]] = [None] * n
         self._epoch_start = [0.0] * n
+        self._epoch_energy: List[Optional[float]] = [None] * n
 
         # -- gossip driver state -----------------------------------------
         self.replicas: Optional[np.ndarray] = None
@@ -242,6 +251,13 @@ class RoundEngine:
             return int(self._round_samples[j])
         return self.users[j].size
 
+    def battery_soc(self, j: int) -> Optional[float]:
+        """User j's current state of charge, or ``None`` without
+        devices."""
+        if self.devices is None:
+            return None
+        return self.devices[j].battery.soc
+
     def battery_ok(self, j: int) -> bool:
         """Whether user j's device has charge to spare this round."""
         if self.devices is None or self.min_soc <= 0.0:
@@ -257,11 +273,15 @@ class RoundEngine:
             if u.size > 0 and self.battery_ok(j)
         ]
 
-    def client_compute_time(self, j: int, epochs: int = 1) -> float:
+    def client_compute(
+        self, j: int, epochs: int = 1
+    ) -> Tuple[float, float]:
         """Advance user j's device through its local workload and return
-        the simulated compute seconds (thermal/battery state persists)."""
+        ``(compute_seconds, energy_joules)`` — the simulated compute
+        time and the battery energy drained (thermal/battery state
+        persists). Without devices both are 0.0."""
         if self.devices is None:
-            return 0.0
+            return 0.0, 0.0
         workload = TrainingWorkload(
             flops_per_sample=self._flops,
             n_samples=self._client_samples(j),
@@ -269,9 +289,13 @@ class RoundEngine:
             epochs=epochs,
             model_name=self.model.name,
         )
-        return self.devices[j].run_workload(
-            workload, record=False
-        ).total_time_s
+        trace = self.devices[j].run_workload(workload, record=False)
+        return trace.total_time_s, trace.energy_j
+
+    def client_compute_time(self, j: int, epochs: int = 1) -> float:
+        """Simulated compute seconds of user j's local workload (see
+        :meth:`client_compute`, which also reports energy)."""
+        return self.client_compute(j, epochs=epochs)[0]
 
     def client_comm_time(self, j: int) -> float:
         """Round-trip model transfer seconds over user j's link."""
@@ -327,8 +351,9 @@ class RoundEngine:
             )
             compute_s = 0.0
             comm_s = 0.0
+            energy_j: Optional[float] = None
             if self.devices is not None:
-                compute_s = self.client_compute_time(
+                compute_s, energy_j = self.client_compute(
                     j, epochs=self.local_epochs
                 )
                 comm_s = self.client_comm_time(j)
@@ -341,6 +366,8 @@ class RoundEngine:
                     comm_s=comm_s,
                     total_s=times[j],
                     time_s=self.clock_s + times[j],
+                    energy_j=energy_j,
+                    battery_soc=self.battery_soc(j),
                 )
             )
         return times
@@ -399,6 +426,7 @@ class RoundEngine:
                     predicted_makespan_s=assignment.predicted_makespan_s,
                     predicted_energy_j=assignment.predicted_energy_j,
                     time_s=self.clock_s,
+                    solve_ms=_solve_ms_of(assignment),
                 )
             )
             # users planned out of the round neither compute nor train
@@ -511,7 +539,11 @@ class RoundEngine:
                 time_s=self.clock_s,
             )
         )
-        return self.epoch_time(j)
+        epoch_s, energy_j = self.client_compute(j, epochs=1)
+        self._epoch_energy[j] = (
+            energy_j if self.devices is not None else None
+        )
+        return epoch_s
 
     def _apply_async_update(self, j: int, time_s: float) -> AsyncUpdate:
         strategy = self._staleness_strategy()
@@ -549,6 +581,8 @@ class RoundEngine:
                 comm_s=0.0,
                 total_s=epoch_s,
                 time_s=time_s,
+                energy_j=self._epoch_energy[j],
+                battery_soc=self.battery_soc(j),
             )
         )
         self.bus.emit(
@@ -634,8 +668,9 @@ class RoundEngine:
                     time_s=self.clock_s,
                 )
             )
+            energy_j: Optional[float] = None
             if self.devices is not None:
-                times[j] = self.client_compute_time(
+                times[j], energy_j = self.client_compute(
                     j, epochs=self.local_epochs
                 )
             result = self._train_client(
@@ -650,6 +685,8 @@ class RoundEngine:
                     comm_s=0.0,
                     total_s=float(times[j]),
                     time_s=self.clock_s + times[j],
+                    energy_j=energy_j,
+                    battery_soc=self.battery_soc(j),
                 )
             )
         # Gossip: every replica mixes with its neighbours.

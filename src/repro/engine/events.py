@@ -73,7 +73,12 @@ class ClientDispatched(EngineEvent):
 
 @dataclass(frozen=True)
 class ClientFinished(EngineEvent):
-    """A client finished local compute (+ communication)."""
+    """A client finished local compute (+ communication).
+
+    ``energy_j`` is the battery energy the device drained running this
+    round's workload and ``battery_soc`` its state of charge right
+    after — ``None`` when the engine runs without device simulators.
+    """
 
     kind: ClassVar[str] = "client_finished"
 
@@ -83,6 +88,8 @@ class ClientFinished(EngineEvent):
     comm_s: float
     total_s: float
     time_s: float
+    energy_j: Optional[float] = None
+    battery_soc: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +150,9 @@ class ScheduleComputed(EngineEvent):
     predicted_makespan_s: float
     predicted_energy_j: Optional[float]
     time_s: float
+    #: host milliseconds the solver took (perf_counter-measured);
+    #: deliberately *not* virtual time — solver cost is real cost
+    solve_ms: Optional[float] = None
 
 
 Listener = Callable[[EngineEvent], None]

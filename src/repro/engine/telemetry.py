@@ -45,13 +45,21 @@ from .events import (
 )
 
 __all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
     "RoundRecord",
     "ConvergenceHistory",
     "JsonlSink",
     "TelemetryAggregator",
+    "TelemetryRead",
     "record_telemetry",
     "read_jsonl",
+    "read_jsonl_meta",
 ]
+
+#: version of the JSONL event schema; bumped whenever an event dataclass
+#: gains/loses fields. v2 added ClientFinished.energy_j/.battery_soc
+#: and ScheduleComputed.solve_ms.
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -126,7 +134,12 @@ class ConvergenceHistory:
 
 
 class JsonlSink:
-    """Stream events to a JSON-lines file (one event per line)."""
+    """Stream events to a JSON-lines file (one event per line).
+
+    The first line written is a ``telemetry_meta`` header carrying the
+    schema version, so readers can detect which event fields to expect
+    without sniffing; it is not counted in :attr:`n_events`.
+    """
 
     def __init__(self, target: Union[str, Path, IO[str]]) -> None:
         if isinstance(target, (str, Path)):
@@ -139,6 +152,16 @@ class JsonlSink:
             self._fh = target
             self._owns = False
         self.n_events = 0
+        self._fh.write(
+            json.dumps(
+                {
+                    "event": "telemetry_meta",
+                    "schema_version": TELEMETRY_SCHEMA_VERSION,
+                }
+            )
+            + "\n"
+        )
+        self._fh.flush()
 
     def __call__(self, event: EngineEvent) -> None:
         self._fh.write(json.dumps(event.to_dict()) + "\n")
@@ -162,15 +185,64 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse a telemetry JSON-lines file back into event dicts."""
+@dataclass
+class TelemetryRead:
+    """Outcome of parsing a telemetry JSONL file.
+
+    ``events`` excludes the ``telemetry_meta`` header (surfaced as
+    ``schema_version`` instead); ``corrupt_lines`` counts lines that
+    did not parse as JSON objects — typically one truncated trailing
+    line from a run that died mid-write.
+    """
+
+    events: List[Dict[str, object]]
+    corrupt_lines: int = 0
+    schema_version: Optional[int] = None
+
+
+def read_jsonl_meta(path: Union[str, Path]) -> TelemetryRead:
+    """Parse a telemetry JSONL file, tolerating corrupt lines.
+
+    A run killed mid-write can leave a truncated trailing line; a
+    reader that raises on it loses the entire capture, so corrupt or
+    non-object lines are skipped and counted instead.
+    """
     events: List[Dict[str, object]] = []
+    corrupt = 0
+    schema_version: Optional[int] = None
     with open(path) as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            if not isinstance(parsed, dict):
+                corrupt += 1
+                continue
+            if parsed.get("event") == "telemetry_meta":
+                version = parsed.get("schema_version")
+                if isinstance(version, int):
+                    schema_version = version
+                continue
+            events.append(parsed)
+    return TelemetryRead(
+        events=events,
+        corrupt_lines=corrupt,
+        schema_version=schema_version,
+    )
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a telemetry JSON-lines file back into event dicts.
+
+    Corrupt/truncated lines and the ``telemetry_meta`` header are
+    skipped; use :func:`read_jsonl_meta` when you need them reported.
+    """
+    return read_jsonl_meta(path).events
 
 
 class TelemetryAggregator:
@@ -181,7 +253,13 @@ class TelemetryAggregator:
         {"round": int, "makespan_s": float, "mean_time_s": float,
          "participant_count": int, "accuracy": float | None,
          "clients": [{"client": int, "compute_s": ..., "comm_s": ...,
-                      "total_s": ..., "dropped": bool}, ...]}
+                      "total_s": ..., "energy_j": float | None,
+                      "battery_soc": float | None, "dropped": bool},
+                     ...]}
+
+    A ``client_dropped`` with no preceding ``client_finished`` still
+    yields a row (``dropped: True`` with ``compute_s``/``comm_s`` of
+    ``None``).
 
     ``rounds`` accumulates them; ``events`` keeps the raw stream;
     ``counts()`` tallies events by kind.
@@ -201,6 +279,8 @@ class TelemetryAggregator:
                     "compute_s": event.compute_s,
                     "comm_s": event.comm_s,
                     "total_s": event.total_s,
+                    "energy_j": event.energy_j,
+                    "battery_soc": event.battery_soc,
                     "dropped": False,
                 }
             )
@@ -208,6 +288,20 @@ class TelemetryAggregator:
             for row in self._pending_clients:
                 if row["client"] == event.client_id:
                     row["dropped"] = True
+                    break
+            else:
+                # a drop with no preceding ClientFinished (e.g. a
+                # client cut off mid-compute) must still surface as a
+                # client row, not vanish from the round
+                self._pending_clients.append(
+                    {
+                        "client": event.client_id,
+                        "compute_s": None,
+                        "comm_s": None,
+                        "total_s": event.total_s,
+                        "dropped": True,
+                    }
+                )
         elif isinstance(event, RoundCompleted):
             self.rounds.append(
                 {

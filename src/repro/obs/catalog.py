@@ -1,0 +1,183 @@
+"""The catalog of engine metrics.
+
+Every metric the engine recorder emits is registered here, once, under
+its stable Prometheus-style name. ``docs/observability.md`` carries the
+same table for humans; the ``metric-doc-drift`` lint rule keeps the two
+in sync (every ``register_metric`` name below must appear in the doc).
+
+Naming follows Prometheus conventions: ``_total`` counters, base units
+in the name (``_seconds``, ``_joules``), gauges unsuffixed. All
+timestamps and durations are the engine's *virtual* clock; the two
+``solve`` metrics are the exception — solver runtime is host cost,
+measured with ``time.perf_counter`` at the call site.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_ENERGY_BUCKETS,
+    DEFAULT_MS_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    MetricSpec,
+    register_metric,
+)
+
+__all__ = [
+    "EVENTS_TOTAL",
+    "ROUNDS_TOTAL",
+    "ROUND_MAKESPAN_SECONDS",
+    "ROUND_MEAN_TIME_SECONDS",
+    "ROUND_ENERGY_JOULES",
+    "PARTICIPANTS",
+    "ACCURACY",
+    "CLOCK_SECONDS",
+    "CLIENT_COMPUTE_SECONDS",
+    "CLIENT_COMM_SECONDS",
+    "CLIENT_ROUND_SECONDS",
+    "CLIENT_BUSY_SECONDS_TOTAL",
+    "CLIENT_ROUNDS_TOTAL",
+    "CLIENT_ENERGY_JOULES_TOTAL",
+    "CLIENTS_DROPPED_TOTAL",
+    "BATTERY_SOC",
+    "AGGREGATIONS_TOTAL",
+    "SCHEDULE_SOLVES_TOTAL",
+    "SCHEDULE_SOLVE_MS",
+    "SCHEDULE_PREDICTED_MAKESPAN_SECONDS",
+]
+
+# -- stream-level ------------------------------------------------------------
+EVENTS_TOTAL: MetricSpec = register_metric(
+    "repro_events_total",
+    "counter",
+    "engine events seen, by event kind",
+    labels=("kind",),
+)
+CLOCK_SECONDS: MetricSpec = register_metric(
+    "repro_clock_seconds",
+    "gauge",
+    "virtual clock of the newest event",
+    unit="seconds",
+)
+
+# -- rounds ------------------------------------------------------------------
+ROUNDS_TOTAL: MetricSpec = register_metric(
+    "repro_rounds_total",
+    "counter",
+    "completed barrier rounds",
+)
+ROUND_MAKESPAN_SECONDS: MetricSpec = register_metric(
+    "repro_round_makespan_seconds",
+    "histogram",
+    "per-round makespan (slowest surviving client)",
+    unit="seconds",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+ROUND_MEAN_TIME_SECONDS: MetricSpec = register_metric(
+    "repro_round_mean_time_seconds",
+    "gauge",
+    "mean client round time of the latest round",
+    unit="seconds",
+)
+ROUND_ENERGY_JOULES: MetricSpec = register_metric(
+    "repro_round_energy_joules",
+    "histogram",
+    "total fleet energy drained per round",
+    unit="joules",
+    buckets=DEFAULT_ENERGY_BUCKETS,
+)
+PARTICIPANTS: MetricSpec = register_metric(
+    "repro_participants",
+    "gauge",
+    "clients aggregated in the latest round",
+)
+ACCURACY: MetricSpec = register_metric(
+    "repro_accuracy",
+    "gauge",
+    "latest evaluated global-model accuracy",
+)
+
+# -- clients -----------------------------------------------------------------
+CLIENT_COMPUTE_SECONDS: MetricSpec = register_metric(
+    "repro_client_compute_seconds",
+    "histogram",
+    "per-client local compute time, all clients pooled",
+    unit="seconds",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+CLIENT_COMM_SECONDS: MetricSpec = register_metric(
+    "repro_client_comm_seconds",
+    "histogram",
+    "per-client model up/download time, all clients pooled",
+    unit="seconds",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+CLIENT_ROUND_SECONDS: MetricSpec = register_metric(
+    "repro_client_round_seconds",
+    "histogram",
+    "per-client total round time (compute + comm), all clients pooled",
+    unit="seconds",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+CLIENT_BUSY_SECONDS_TOTAL: MetricSpec = register_metric(
+    "repro_client_busy_seconds_total",
+    "counter",
+    "cumulative busy (compute + comm) seconds per client",
+    labels=("client",),
+    unit="seconds",
+)
+CLIENT_ROUNDS_TOTAL: MetricSpec = register_metric(
+    "repro_client_rounds_total",
+    "counter",
+    "workloads finished per client",
+    labels=("client",),
+)
+CLIENTS_DROPPED_TOTAL: MetricSpec = register_metric(
+    "repro_clients_dropped_total",
+    "counter",
+    "straggler drops per client",
+    labels=("client",),
+)
+
+# -- energy / battery (the paper's battery story) ----------------------------
+CLIENT_ENERGY_JOULES_TOTAL: MetricSpec = register_metric(
+    "repro_client_energy_joules_total",
+    "counter",
+    "cumulative battery energy drained per client",
+    labels=("client",),
+    unit="joules",
+)
+BATTERY_SOC: MetricSpec = register_metric(
+    "repro_battery_soc",
+    "gauge",
+    "latest state of charge per client (0..1)",
+    labels=("client",),
+)
+
+# -- aggregation / scheduling ------------------------------------------------
+AGGREGATIONS_TOTAL: MetricSpec = register_metric(
+    "repro_aggregations_total",
+    "counter",
+    "model aggregations, by strategy",
+    labels=("strategy",),
+)
+SCHEDULE_SOLVES_TOTAL: MetricSpec = register_metric(
+    "repro_schedule_solves_total",
+    "counter",
+    "scheduling problems solved, by scheduler",
+    labels=("scheduler",),
+)
+SCHEDULE_SOLVE_MS: MetricSpec = register_metric(
+    "repro_schedule_solve_ms",
+    "histogram",
+    "scheduler solver runtime (host milliseconds, perf_counter)",
+    labels=("scheduler",),
+    unit="milliseconds",
+    buckets=DEFAULT_MS_BUCKETS,
+)
+SCHEDULE_PREDICTED_MAKESPAN_SECONDS: MetricSpec = register_metric(
+    "repro_schedule_predicted_makespan_seconds",
+    "gauge",
+    "latest predicted makespan, by scheduler",
+    labels=("scheduler",),
+    unit="seconds",
+)

@@ -1,0 +1,79 @@
+"""Energy and battery accounting over the event stream.
+
+The paper's core constraint is that clients run on batteries: a
+schedule is only as good as the Joules it burns and the charge it
+leaves behind. :class:`EnergyLedger` folds the per-client energy that
+:class:`~repro.engine.events.ClientFinished` events carry (drained by
+the device simulator — see :mod:`repro.device.battery` /
+:mod:`repro.device.energy`) into the per-device and per-round ledgers
+the dashboard and the metric catalog surface: cumulative Joules per
+client, fleet energy per round, and the latest state of charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ClientEnergy", "EnergyLedger"]
+
+
+@dataclass
+class ClientEnergy:
+    """Running totals for one client's device."""
+
+    client_id: int
+    energy_j: float = 0.0
+    busy_s: float = 0.0
+    rounds: int = 0
+    dropped: int = 0
+    last_soc: Optional[float] = None
+
+
+@dataclass
+class EnergyLedger:
+    """Per-client and per-round energy bookkeeping."""
+
+    clients: Dict[int, ClientEnergy] = field(default_factory=dict)
+    #: (round index, fleet Joules) per completed round, in stream order
+    round_energy: List[Tuple[int, float]] = field(default_factory=list)
+    _current_round_j: float = 0.0
+
+    def _client(self, client_id: int) -> ClientEnergy:
+        entry = self.clients.get(client_id)
+        if entry is None:
+            entry = ClientEnergy(client_id=client_id)
+            self.clients[client_id] = entry
+        return entry
+
+    def on_client_finished(
+        self,
+        client_id: int,
+        total_s: float,
+        energy_j: Optional[float],
+        battery_soc: Optional[float],
+    ) -> None:
+        entry = self._client(client_id)
+        entry.rounds += 1
+        entry.busy_s += total_s
+        if energy_j is not None:
+            entry.energy_j += energy_j
+            self._current_round_j += energy_j
+        if battery_soc is not None:
+            entry.last_soc = battery_soc
+
+    def on_client_dropped(self, client_id: int) -> None:
+        self._client(client_id).dropped += 1
+
+    def on_round_completed(self, round_idx: int) -> None:
+        self.round_energy.append((round_idx, self._current_round_j))
+        self._current_round_j = 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Fleet-wide cumulative Joules."""
+        return sum(c.energy_j for c in self.clients.values())
+
+    def by_client(self) -> List[ClientEnergy]:
+        """Client ledgers sorted by id."""
+        return [self.clients[k] for k in sorted(self.clients)]

@@ -1,0 +1,120 @@
+"""Prometheus text exposition (version 0.0.4) for a metric registry.
+
+Output is deterministic — metrics in name order, series in label-value
+order — so golden-file tests and repeated exports diff cleanly. Only
+the simulation's *final* state is exported; there is no scrape loop,
+the text is a snapshot of a finished (or paused) run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = ["render_prometheus"]
+
+_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(
+    names: Tuple[str, ...], values: Tuple[str, ...], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _render_header(lines: List[str], name: str, help_: str, kind: str) -> None:
+    lines.append(f"# HELP {name} {help_}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def _render_counter(lines: List[str], metric: Counter) -> None:
+    _render_header(lines, metric.name, metric.spec.help, "counter")
+    series = list(metric.series())
+    if not series and not metric.spec.labels:
+        series = [((), 0.0)]
+    for values, total in series:
+        labels = _format_labels(metric.spec.labels, values)
+        lines.append(f"{metric.name}{labels} {_format_value(total)}")
+
+
+def _render_gauge(lines: List[str], metric: Gauge) -> None:
+    _render_header(lines, metric.name, metric.spec.help, "gauge")
+    for values, current in metric.series():
+        labels = _format_labels(metric.spec.labels, values)
+        lines.append(f"{metric.name}{labels} {_format_value(current)}")
+
+
+def _render_histogram(lines: List[str], metric: Histogram) -> None:
+    _render_header(lines, metric.name, metric.spec.help, "histogram")
+    for values, series in metric.series():
+        for bound, count in zip(metric.buckets, series.bucket_counts):
+            le = _format_labels(
+                metric.spec.labels,
+                values,
+                extra=f'le="{_format_value(bound)}"',
+            )
+            lines.append(f"{metric.name}_bucket{le} {count}")
+        inf = _format_labels(
+            metric.spec.labels, values, extra='le="+Inf"'
+        )
+        lines.append(f"{metric.name}_bucket{inf} {series.count}")
+        labels = _format_labels(metric.spec.labels, values)
+        lines.append(
+            f"{metric.name}_sum{labels} {_format_value(series.total)}"
+        )
+        lines.append(f"{metric.name}_count{labels} {series.count}")
+
+
+def render_prometheus(
+    registry: MetricRegistry,
+    extra_info: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render every instrument of ``registry`` as exposition text.
+
+    ``extra_info`` becomes a ``repro_run_info`` gauge with one series
+    carrying the given labels — the conventional way to attach run
+    metadata (scheduler name, driver, schema version) to a scrape.
+    """
+    lines: List[str] = []
+    if extra_info:
+        _render_header(
+            lines, "repro_run_info", "run metadata labels", "gauge"
+        )
+        keys = tuple(sorted(extra_info))
+        labels = _format_labels(
+            keys, tuple(str(extra_info[k]) for k in keys)
+        )
+        lines.append(f"repro_run_info{labels} 1")
+    for metric in registry.metrics():
+        if isinstance(metric, Counter):
+            _render_counter(lines, metric)
+        elif isinstance(metric, Gauge):
+            _render_gauge(lines, metric)
+        elif isinstance(metric, Histogram):
+            _render_histogram(lines, metric)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,116 @@
+"""Chrome trace-event JSON export of a span tree.
+
+The output loads in ``chrome://tracing`` and in Perfetto's legacy
+importer (https://ui.perfetto.dev): one process per run, thread 0 for
+engine-level spans (run / rounds / instants) and one thread per client
+so concurrent workloads stack visually the way the schedule executes
+them. Durations use the complete-event phase (``"X"``); zero-duration
+spans (scheduler invocations, aggregations) become instants (``"i"``).
+
+Timestamps are the engine's virtual clock converted to microseconds —
+the trace timeline is simulated time, not host time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .spans import Span
+
+__all__ = ["trace_events", "render_trace_json"]
+
+_ENGINE_TID = 0
+
+#: trace-viewer colour names per span category
+_COLORS = {
+    "run": "thread_state_running",
+    "round": "vsync_highlight_color",
+    "client": "thread_state_iowait",
+    "sched": "startup",
+    "aggregate": "heap_dump_stack_frame",
+}
+
+
+def _tid_for(span: Span) -> int:
+    """Thread lane: clients on their own row, everything else on 0."""
+    if span.category == "client":
+        client = span.attrs.get("client")
+        if isinstance(client, int):
+            return client + 1
+    return _ENGINE_TID
+
+
+def _us(time_s: float) -> float:
+    return round(time_s * 1e6, 3)
+
+
+def trace_events(
+    roots: List[Span], process_name: str = "repro"
+) -> List[Dict[str, object]]:
+    """Flatten a span tree into trace-event dicts (stream order)."""
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": _ENGINE_TID,
+            "name": "process_name",
+            "args": {"name": process_name},
+        },
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": _ENGINE_TID,
+            "name": "thread_name",
+            "args": {"name": "engine"},
+        },
+    ]
+    named_tids = {_ENGINE_TID}
+    for root in roots:
+        for span in root.walk():
+            tid = _tid_for(span)
+            if tid not in named_tids:
+                named_tids.add(tid)
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": f"client {tid - 1}"},
+                    }
+                )
+            common: Dict[str, object] = {
+                "name": span.name,
+                "cat": span.category,
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(span.start_s),
+                "args": dict(span.attrs),
+            }
+            color = _COLORS.get(span.category)
+            if color is not None:
+                common["cname"] = color
+            if span.duration_s > 0.0 or span.category in (
+                "run",
+                "round",
+                "client",
+            ):
+                common["ph"] = "X"
+                common["dur"] = _us(span.duration_s)
+            else:
+                common["ph"] = "i"
+                common["s"] = "t"
+            events.append(common)
+    return events
+
+
+def render_trace_json(
+    roots: List[Span], process_name: str = "repro"
+) -> str:
+    """Serialise the trace as a Chrome/Perfetto-loadable JSON object."""
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events(roots, process_name=process_name),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

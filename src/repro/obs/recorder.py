@@ -1,0 +1,464 @@
+"""The engine-facing fold: events in, metrics + spans + energy out.
+
+:class:`ObsRecorder` is an :class:`~repro.engine.events.EventBus`
+listener (the **live** construction path — subscribe it to one engine,
+or install it process-wide next to the telemetry sink) and a JSONL
+replayer (the **offline** path — :meth:`ObsRecorder.from_jsonl`
+rebuilds the exact same metrics and spans from a saved capture). Both
+paths drive the same per-kind handlers, so ``repro obs summary`` over
+a file agrees with a live dashboard over the bus.
+
+The live path dispatches on event types directly — no ``to_dict``
+round-trip — to keep the per-event cost far inside the engine-overhead
+budget (see ``benchmarks/test_engine_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
+
+from ..engine.events import (
+    ClientDispatched,
+    ClientDropped,
+    ClientFinished,
+    EngineEvent,
+    EventBus,
+    ModelAggregated,
+    RoundCompleted,
+    ScheduleComputed,
+)
+from ..engine.telemetry import read_jsonl_meta
+from . import catalog
+from .energy import EnergyLedger
+from .metrics import MetricRegistry
+from .spans import Span, SpanBuilder
+
+if TYPE_CHECKING:
+    from ..engine.engine import RoundEngine
+
+__all__ = ["RoundSummary", "ObsRecorder", "observe_engine"]
+
+
+class RoundSummary:
+    """Compact per-round record the dashboard renders."""
+
+    __slots__ = (
+        "round_idx",
+        "makespan_s",
+        "mean_time_s",
+        "participants",
+        "dropped",
+        "energy_j",
+        "accuracy",
+        "straggler_id",
+        "straggler_s",
+    )
+
+    def __init__(
+        self,
+        round_idx: int,
+        makespan_s: float,
+        mean_time_s: float,
+        participants: int,
+        dropped: int,
+        energy_j: float,
+        accuracy: Optional[float],
+        straggler_id: Optional[int],
+        straggler_s: float,
+    ) -> None:
+        self.round_idx = round_idx
+        self.makespan_s = makespan_s
+        self.mean_time_s = mean_time_s
+        self.participants = participants
+        self.dropped = dropped
+        self.energy_j = energy_j
+        self.accuracy = accuracy
+        self.straggler_id = straggler_id
+        self.straggler_s = straggler_s
+
+
+class ObsRecorder:
+    """Fold the engine event stream into observability state.
+
+    Parameters
+    ----------
+    metrics:
+        Registry to populate; a fresh one by default. Passing a shared
+        registry lets several engines aggregate into one export.
+    trace:
+        Build the span tree (disable for metric-only captures).
+    run_name:
+        Name of the root span / trace process.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricRegistry] = None,
+        trace: bool = True,
+        run_name: str = "run",
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.spans: Optional[SpanBuilder] = (
+            SpanBuilder(run_name) if trace else None
+        )
+        self.energy = EnergyLedger()
+        self.rounds: List[RoundSummary] = []
+        self.n_events = 0
+        #: filled by :meth:`from_jsonl`
+        self.schema_version: Optional[int] = None
+        self.corrupt_lines = 0
+
+        m = self.metrics
+        self._events_total = m.counter(catalog.EVENTS_TOTAL)
+        self._clock = m.gauge(catalog.CLOCK_SECONDS)
+        self._rounds_total = m.counter(catalog.ROUNDS_TOTAL)
+        self._round_makespan = m.histogram(catalog.ROUND_MAKESPAN_SECONDS)
+        self._round_mean = m.gauge(catalog.ROUND_MEAN_TIME_SECONDS)
+        self._round_energy = m.histogram(catalog.ROUND_ENERGY_JOULES)
+        self._participants = m.gauge(catalog.PARTICIPANTS)
+        self._accuracy = m.gauge(catalog.ACCURACY)
+        self._client_compute = m.histogram(catalog.CLIENT_COMPUTE_SECONDS)
+        self._client_comm = m.histogram(catalog.CLIENT_COMM_SECONDS)
+        self._client_round = m.histogram(catalog.CLIENT_ROUND_SECONDS)
+        self._client_busy = m.counter(catalog.CLIENT_BUSY_SECONDS_TOTAL)
+        self._client_rounds = m.counter(catalog.CLIENT_ROUNDS_TOTAL)
+        self._client_energy = m.counter(catalog.CLIENT_ENERGY_JOULES_TOTAL)
+        self._dropped_total = m.counter(catalog.CLIENTS_DROPPED_TOTAL)
+        self._battery_soc = m.gauge(catalog.BATTERY_SOC)
+        self._aggregations = m.counter(catalog.AGGREGATIONS_TOTAL)
+        self._solves = m.counter(catalog.SCHEDULE_SOLVES_TOTAL)
+        self._solve_ms = m.histogram(catalog.SCHEDULE_SOLVE_MS)
+        self._predicted_makespan = m.gauge(
+            catalog.SCHEDULE_PREDICTED_MAKESPAN_SECONDS
+        )
+
+        # in-flight round state
+        self._round_dropped: Dict[int, int] = {}
+        self._round_straggler: Dict[int, tuple[int, float]] = {}
+
+    # -- live path ---------------------------------------------------------
+    def __call__(self, event: EngineEvent) -> None:
+        """EventBus listener: fold one typed engine event."""
+        self.n_events += 1
+        self._events_total.inc(kind=event.kind)
+        time_s = getattr(event, "time_s", None)
+        if isinstance(time_s, float):
+            self._clock.set(time_s)
+        if isinstance(event, ClientDispatched):
+            if self.spans is not None:
+                self.spans.on_client_dispatched(
+                    event.round_idx,
+                    event.client_id,
+                    event.time_s,
+                    event.n_samples,
+                )
+        elif isinstance(event, ClientFinished):
+            self._on_client_finished(
+                event.round_idx,
+                event.client_id,
+                event.time_s,
+                event.compute_s,
+                event.comm_s,
+                event.total_s,
+                event.energy_j,
+                event.battery_soc,
+            )
+        elif isinstance(event, ClientDropped):
+            self._on_client_dropped(
+                event.round_idx,
+                event.client_id,
+                event.time_s,
+                event.total_s,
+            )
+        elif isinstance(event, ModelAggregated):
+            self._on_model_aggregated(
+                event.round_idx,
+                event.time_s,
+                event.strategy,
+                len(event.participants),
+            )
+        elif isinstance(event, RoundCompleted):
+            self._on_round_completed(
+                event.round_idx,
+                event.time_s,
+                event.makespan_s,
+                event.mean_time_s,
+                event.participant_count,
+                event.accuracy,
+            )
+        elif isinstance(event, ScheduleComputed):
+            self._on_schedule_computed(
+                event.round_idx,
+                event.time_s,
+                event.scheduler,
+                event.predicted_makespan_s,
+                event.predicted_energy_j,
+                event.solve_ms,
+            )
+
+    # -- shared per-kind folds ---------------------------------------------
+    def _on_client_finished(
+        self,
+        round_idx: int,
+        client_id: int,
+        time_s: float,
+        compute_s: float,
+        comm_s: float,
+        total_s: float,
+        energy_j: Optional[float],
+        battery_soc: Optional[float],
+    ) -> None:
+        self._client_compute.observe(compute_s)
+        self._client_comm.observe(comm_s)
+        self._client_round.observe(total_s)
+        self._client_busy.inc(total_s, client=client_id)
+        self._client_rounds.inc(client=client_id)
+        if energy_j is not None:
+            self._client_energy.inc(energy_j, client=client_id)
+        if battery_soc is not None:
+            self._battery_soc.set(battery_soc, client=client_id)
+        self.energy.on_client_finished(
+            client_id, total_s, energy_j, battery_soc
+        )
+        straggler = self._round_straggler.get(round_idx)
+        if straggler is None or total_s > straggler[1]:
+            self._round_straggler[round_idx] = (client_id, total_s)
+        if self.spans is not None:
+            self.spans.on_client_finished(
+                round_idx,
+                client_id,
+                time_s,
+                compute_s,
+                comm_s,
+                total_s,
+                energy_j,
+                battery_soc,
+            )
+
+    def _on_client_dropped(
+        self, round_idx: int, client_id: int, time_s: float, total_s: float
+    ) -> None:
+        self._dropped_total.inc(client=client_id)
+        self.energy.on_client_dropped(client_id)
+        self._round_dropped[round_idx] = (
+            self._round_dropped.get(round_idx, 0) + 1
+        )
+        if self.spans is not None:
+            self.spans.on_client_dropped(
+                round_idx, client_id, time_s, total_s
+            )
+
+    def _on_model_aggregated(
+        self,
+        round_idx: int,
+        time_s: float,
+        strategy: str,
+        n_participants: int,
+    ) -> None:
+        self._aggregations.inc(strategy=strategy)
+        if self.spans is not None:
+            self.spans.on_model_aggregated(
+                round_idx, time_s, strategy, n_participants
+            )
+
+    def _on_round_completed(
+        self,
+        round_idx: int,
+        time_s: float,
+        makespan_s: float,
+        mean_time_s: float,
+        participant_count: int,
+        accuracy: Optional[float],
+    ) -> None:
+        self._rounds_total.inc()
+        self._round_makespan.observe(makespan_s)
+        self._round_mean.set(mean_time_s)
+        self._participants.set(participant_count)
+        if accuracy is not None:
+            self._accuracy.set(accuracy)
+        self.energy.on_round_completed(round_idx)
+        round_j = self.energy.round_energy[-1][1]
+        self._round_energy.observe(round_j)
+        straggler = self._round_straggler.pop(round_idx, None)
+        self.rounds.append(
+            RoundSummary(
+                round_idx=round_idx,
+                makespan_s=makespan_s,
+                mean_time_s=mean_time_s,
+                participants=participant_count,
+                dropped=self._round_dropped.pop(round_idx, 0),
+                energy_j=round_j,
+                accuracy=accuracy,
+                straggler_id=straggler[0] if straggler else None,
+                straggler_s=straggler[1] if straggler else 0.0,
+            )
+        )
+        if self.spans is not None:
+            self.spans.on_round_completed(
+                round_idx, time_s, makespan_s, participant_count, accuracy
+            )
+
+    def _on_schedule_computed(
+        self,
+        round_idx: int,
+        time_s: float,
+        scheduler: str,
+        predicted_makespan_s: float,
+        predicted_energy_j: Optional[float],
+        solve_ms: Optional[float],
+    ) -> None:
+        self._solves.inc(scheduler=scheduler)
+        if solve_ms is not None:
+            self._solve_ms.observe(solve_ms, scheduler=scheduler)
+        self._predicted_makespan.set(
+            predicted_makespan_s, scheduler=scheduler
+        )
+        if self.spans is not None:
+            self.spans.on_schedule_computed(
+                round_idx,
+                time_s,
+                scheduler,
+                predicted_makespan_s,
+                predicted_energy_j,
+                solve_ms,
+            )
+
+    # -- replay path -------------------------------------------------------
+    def add_dict(self, event: Mapping[str, object]) -> None:
+        """Fold one JSONL event dict (offline construction path)."""
+        kind = event.get("event")
+        if not isinstance(kind, str) or kind == "telemetry_meta":
+            return
+        self.n_events += 1
+        self._events_total.inc(kind=kind)
+        time_s = event.get("time_s")
+        if isinstance(time_s, (int, float)):
+            self._clock.set(float(time_s))
+        if kind == "client_dispatched":
+            if self.spans is not None:
+                self.spans.add(event)
+        elif kind == "client_finished":
+            self._on_client_finished(
+                _as_int(event, "round_idx"),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                _as_float(event, "compute_s"),
+                _as_float(event, "comm_s"),
+                _as_float(event, "total_s"),
+                _opt_float(event, "energy_j"),
+                _opt_float(event, "battery_soc"),
+            )
+        elif kind == "client_dropped":
+            self._on_client_dropped(
+                _as_int(event, "round_idx"),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                _as_float(event, "total_s"),
+            )
+        elif kind == "model_aggregated":
+            participants = event.get("participants")
+            self._on_model_aggregated(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                str(event.get("strategy", "?")),
+                len(participants) if isinstance(participants, list) else 0,
+            )
+        elif kind == "round_completed":
+            self._on_round_completed(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                _as_float(event, "makespan_s"),
+                _as_float(event, "mean_time_s"),
+                _as_int(event, "participant_count"),
+                _opt_float(event, "accuracy"),
+            )
+        elif kind == "schedule_computed":
+            self._on_schedule_computed(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                str(event.get("scheduler", "?")),
+                _as_float(event, "predicted_makespan_s"),
+                _opt_float(event, "predicted_energy_j"),
+                _opt_float(event, "solve_ms"),
+            )
+        # unknown kinds count in repro_events_total and nothing else
+
+    def replay(
+        self, events: Iterable[Mapping[str, object]]
+    ) -> "ObsRecorder":
+        """Fold a saved event stream; returns self for chaining."""
+        for event in events:
+            self.add_dict(event)
+        return self
+
+    @classmethod
+    def from_jsonl(
+        cls,
+        path: Union[str, Path],
+        trace: bool = True,
+        run_name: Optional[str] = None,
+    ) -> "ObsRecorder":
+        """Rebuild metrics + spans + energy from a telemetry JSONL."""
+        name = run_name if run_name is not None else Path(path).stem
+        read = read_jsonl_meta(path)
+        recorder = cls(trace=trace, run_name=name)
+        recorder.schema_version = read.schema_version
+        recorder.corrupt_lines = read.corrupt_lines
+        return recorder.replay(read.events)
+
+    # -- outputs -----------------------------------------------------------
+    def finish_spans(self) -> List[Span]:
+        """Close and return the span tree roots ([] when tracing off)."""
+        if self.spans is None:
+            return []
+        return self.spans.finish()
+
+    def event_counts(self) -> Dict[str, int]:
+        """Events seen per kind, name-sorted."""
+        return {
+            labels[0]: int(count)
+            for labels, count in self._events_total.series()
+        }
+
+
+def _as_int(event: Mapping[str, object], key: str) -> int:
+    value = event.get(key)
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _as_float(event: Mapping[str, object], key: str) -> float:
+    value = event.get(key)
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _opt_float(event: Mapping[str, object], key: str) -> Optional[float]:
+    value = event.get(key)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+@contextmanager
+def observe_engine(
+    engine: "RoundEngine",
+    metrics: Optional[MetricRegistry] = None,
+    trace: bool = True,
+    run_name: str = "run",
+) -> Iterator[ObsRecorder]:
+    """Subscribe a recorder to one engine's bus for the context."""
+    recorder = ObsRecorder(metrics=metrics, trace=trace, run_name=run_name)
+    unsubscribe: Callable[[], None] = engine.bus.subscribe(recorder)
+    try:
+        yield recorder
+    finally:
+        unsubscribe()

@@ -1,0 +1,346 @@
+"""Span tracing over the engine event stream.
+
+The engine narrates *points* in virtual time (dispatch, finish, round
+completion); spans turn those points back into *intervals* with a
+``run > round > client`` hierarchy, plus instant spans for scheduler
+invocations and aggregations. The same :class:`SpanBuilder` serves two
+construction paths:
+
+* **live** — the :class:`~repro.obs.recorder.ObsRecorder` feeds it
+  directly off an engine's :class:`~repro.engine.events.EventBus`;
+* **replay** — :func:`spans_from_events` rebuilds the tree from any
+  saved telemetry JSONL (``repro obs export-trace run.jsonl``), so
+  traces can be cut from captures long after the run.
+
+All timestamps are the engine's virtual clock. Async runs have no
+``round_completed`` barrier; their per-version "rounds" are closed at
+:meth:`SpanBuilder.finish` with the last time seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Span", "SpanBuilder", "spans_from_events"]
+
+
+@dataclass
+class Span:
+    """One named interval on the virtual clock.
+
+    ``category`` is one of ``run`` / ``round`` / ``client`` /
+    ``sched`` / ``aggregate``; instant happenings are zero-duration
+    spans (``start_s == end_s``).
+    """
+
+    name: str
+    category: str
+    start_s: float
+    end_s: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def walk(self) -> Iterable["Span"]:
+        """Pre-order traversal of this span's subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SpanBuilder:
+    """Fold engine events into a ``run > round > client`` span tree.
+
+    Client spans are keyed by client id (every driver has at most one
+    in-flight workload per client) and attached to the round of their
+    *dispatch* — the async driver bumps the model version between a
+    client's dispatch and its finish, so matching on the finish-side
+    round index would orphan them.
+    """
+
+    def __init__(self, run_name: str = "run") -> None:
+        self._run_name = run_name
+        self._run: Optional[Span] = None
+        #: open round spans by round index
+        self._rounds: Dict[int, Span] = {}
+        #: open client spans: client id -> (span, dispatch round)
+        self._open_clients: Dict[int, Tuple[Span, int]] = {}
+        self._last_time_s = 0.0
+        self._finished = False
+
+    # -- shared plumbing -------------------------------------------------
+    def _touch(self, time_s: float) -> Span:
+        if self._finished:
+            raise RuntimeError("SpanBuilder already finished")
+        if self._run is None:
+            self._run = Span(
+                name=self._run_name,
+                category="run",
+                start_s=time_s,
+                end_s=time_s,
+            )
+        self._last_time_s = max(self._last_time_s, time_s)
+        return self._run
+
+    def _round(self, round_idx: int, time_s: float) -> Span:
+        run = self._touch(time_s)
+        span = self._rounds.get(round_idx)
+        if span is None:
+            span = Span(
+                name=f"round {round_idx}",
+                category="round",
+                start_s=time_s,
+                end_s=time_s,
+                attrs={"round": round_idx},
+            )
+            self._rounds[round_idx] = span
+            run.children.append(span)
+        return span
+
+    # -- event entry points ----------------------------------------------
+    def on_client_dispatched(
+        self, round_idx: int, client_id: int, time_s: float, n_samples: int
+    ) -> None:
+        parent = self._round(round_idx, time_s)
+        span = Span(
+            name=f"client {client_id}",
+            category="client",
+            start_s=time_s,
+            end_s=time_s,
+            attrs={"client": client_id, "n_samples": n_samples},
+        )
+        parent.children.append(span)
+        self._open_clients[client_id] = (span, round_idx)
+
+    def _close_client(
+        self,
+        round_idx: int,
+        client_id: int,
+        time_s: float,
+        total_s: float,
+    ) -> Span:
+        entry = self._open_clients.pop(client_id, None)
+        if entry is not None:
+            span = entry[0]
+        else:
+            # no dispatch was seen (e.g. a trimmed capture): synthesise
+            # the interval backwards from the reported duration
+            span = Span(
+                name=f"client {client_id}",
+                category="client",
+                start_s=time_s - total_s,
+                end_s=time_s,
+                attrs={"client": client_id},
+            )
+            self._round(round_idx, span.start_s).children.append(span)
+        span.end_s = max(span.start_s, time_s)
+        return span
+
+    def on_client_finished(
+        self,
+        round_idx: int,
+        client_id: int,
+        time_s: float,
+        compute_s: float,
+        comm_s: float,
+        total_s: float,
+        energy_j: Optional[float] = None,
+        battery_soc: Optional[float] = None,
+    ) -> None:
+        self._touch(time_s)
+        span = self._close_client(round_idx, client_id, time_s, total_s)
+        span.attrs["compute_s"] = compute_s
+        span.attrs["comm_s"] = comm_s
+        if energy_j is not None:
+            span.attrs["energy_j"] = energy_j
+        if battery_soc is not None:
+            span.attrs["battery_soc"] = battery_soc
+
+    def on_client_dropped(
+        self, round_idx: int, client_id: int, time_s: float, total_s: float
+    ) -> None:
+        self._touch(time_s)
+        span = self._close_client(round_idx, client_id, time_s, total_s)
+        span.attrs["dropped"] = True
+
+    def on_model_aggregated(
+        self,
+        round_idx: int,
+        time_s: float,
+        strategy: str,
+        n_participants: int,
+    ) -> None:
+        parent = self._round(round_idx, time_s)
+        parent.children.append(
+            Span(
+                name=f"aggregate [{strategy}]",
+                category="aggregate",
+                start_s=time_s,
+                end_s=time_s,
+                attrs={
+                    "strategy": strategy,
+                    "participants": n_participants,
+                },
+            )
+        )
+
+    def on_round_completed(
+        self,
+        round_idx: int,
+        time_s: float,
+        makespan_s: float,
+        participant_count: int,
+        accuracy: Optional[float],
+    ) -> None:
+        span = self._rounds.pop(round_idx, None)
+        if span is None:
+            # completion without any per-client narration: the round is
+            # the makespan-long interval ending here
+            span = self._round(round_idx, time_s - makespan_s)
+            self._rounds.pop(round_idx, None)
+        self._touch(time_s)
+        span.end_s = max(span.start_s, time_s)
+        span.attrs["makespan_s"] = makespan_s
+        span.attrs["participants"] = participant_count
+        if accuracy is not None:
+            span.attrs["accuracy"] = accuracy
+        # clients the barrier outlived (e.g. a drop narrated without a
+        # finish) close with the round
+        for client_id, (client, parent_round) in list(
+            self._open_clients.items()
+        ):
+            if parent_round == round_idx:
+                client.end_s = max(client.start_s, time_s)
+                client.attrs["unclosed"] = True
+                del self._open_clients[client_id]
+
+    def on_schedule_computed(
+        self,
+        round_idx: int,
+        time_s: float,
+        scheduler: str,
+        predicted_makespan_s: float,
+        predicted_energy_j: Optional[float],
+        solve_ms: Optional[float],
+    ) -> None:
+        parent = self._round(round_idx, time_s)
+        attrs: Dict[str, object] = {
+            "scheduler": scheduler,
+            "predicted_makespan_s": predicted_makespan_s,
+        }
+        if predicted_energy_j is not None:
+            attrs["predicted_energy_j"] = predicted_energy_j
+        if solve_ms is not None:
+            attrs["solve_ms"] = solve_ms
+        parent.children.append(
+            Span(
+                name=f"schedule [{scheduler}]",
+                category="sched",
+                start_s=time_s,
+                end_s=time_s,
+                attrs=attrs,
+            )
+        )
+
+    # -- replay path -------------------------------------------------------
+    def add(self, event: Mapping[str, object]) -> None:
+        """Fold one JSONL event dict (the replay construction path)."""
+        kind = event.get("event")
+        if kind == "client_dispatched":
+            self.on_client_dispatched(
+                _as_int(event, "round_idx"),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                _as_int(event, "n_samples"),
+            )
+        elif kind == "client_finished":
+            self.on_client_finished(
+                _as_int(event, "round_idx"),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                _as_float(event, "compute_s"),
+                _as_float(event, "comm_s"),
+                _as_float(event, "total_s"),
+                _opt_float(event, "energy_j"),
+                _opt_float(event, "battery_soc"),
+            )
+        elif kind == "client_dropped":
+            self.on_client_dropped(
+                _as_int(event, "round_idx"),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                _as_float(event, "total_s"),
+            )
+        elif kind == "model_aggregated":
+            participants = event.get("participants")
+            n = len(participants) if isinstance(participants, list) else 0
+            self.on_model_aggregated(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                str(event.get("strategy", "?")),
+                n,
+            )
+        elif kind == "round_completed":
+            self.on_round_completed(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                _as_float(event, "makespan_s"),
+                _as_int(event, "participant_count"),
+                _opt_float(event, "accuracy"),
+            )
+        elif kind == "schedule_computed":
+            self.on_schedule_computed(
+                _as_int(event, "round_idx"),
+                _as_float(event, "time_s"),
+                str(event.get("scheduler", "?")),
+                _as_float(event, "predicted_makespan_s"),
+                _opt_float(event, "predicted_energy_j"),
+                _opt_float(event, "solve_ms"),
+            )
+        # unknown kinds (telemetry_meta, future events) are ignored
+
+    # -- completion --------------------------------------------------------
+    def finish(self) -> List[Span]:
+        """Close every open span at the last seen time; return roots."""
+        if self._run is None:
+            return []
+        if not self._finished:
+            for client, _parent in self._open_clients.values():
+                client.end_s = max(client.start_s, self._last_time_s)
+                client.attrs["unclosed"] = True
+            self._open_clients.clear()
+            for span in self._rounds.values():
+                span.end_s = max(span.start_s, self._last_time_s)
+            self._rounds.clear()
+            self._run.end_s = max(self._run.start_s, self._last_time_s)
+            self._finished = True
+        return [self._run]
+
+
+def spans_from_events(
+    events: Iterable[Mapping[str, object]], run_name: str = "run"
+) -> List[Span]:
+    """Rebuild the span tree from saved telemetry event dicts."""
+    builder = SpanBuilder(run_name)
+    for event in events:
+        builder.add(event)
+    return builder.finish()
+
+
+def _as_int(event: Mapping[str, object], key: str) -> int:
+    value = event.get(key)
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _as_float(event: Mapping[str, object], key: str) -> float:
+    value = event.get(key)
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _opt_float(event: Mapping[str, object], key: str) -> Optional[float]:
+    value = event.get(key)
+    return float(value) if isinstance(value, (int, float)) else None

@@ -111,6 +111,7 @@ def compare(
                 predicted_makespan_s=assignment.predicted_makespan_s,
                 predicted_energy_j=assignment.predicted_energy_j,
                 time_s=0.0,
+                solve_ms=runtime_ms,
             )
         )
         rows.append(

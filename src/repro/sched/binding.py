@@ -17,6 +17,7 @@ floor are excluded by zeroing their capacity for that round's instance.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import (
     TYPE_CHECKING,
@@ -182,6 +183,13 @@ class EngineSchedulerBinding:
             )
         instance = replace(problem, capacities=caps)
         scheduler = self._resolve(round_idx)
+        # perf_counter (monotonic): solver runtime is host cost, not
+        # virtual time; it rides along in meta so the engine's
+        # ScheduleComputed event (and repro.obs) can report it
+        t0 = time.perf_counter()
         assignment = scheduler.schedule(instance)
+        assignment.meta["solve_ms"] = (
+            time.perf_counter() - t0
+        ) * 1e3
         self.assignments.append(assignment)
         return assignment

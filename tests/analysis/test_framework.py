@@ -12,6 +12,7 @@ from repro.analysis import (
 
 EXPECTED_RULES = {
     "event-schema-sync",
+    "metric-doc-drift",
     "no-float-equality",
     "no-unseeded-rng",
     "no-wall-clock",
@@ -19,7 +20,7 @@ EXPECTED_RULES = {
 }
 
 
-def test_all_five_rules_registered():
+def test_all_expected_rules_registered():
     assert EXPECTED_RULES <= set(available_rules())
 
 

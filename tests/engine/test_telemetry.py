@@ -7,10 +7,13 @@ import pytest
 
 from repro.data.partition import iid_partition
 from repro.device.registry import make_device
+from repro.engine.events import ClientDropped, EventBus, RoundCompleted
 from repro.engine.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
     JsonlSink,
     TelemetryAggregator,
     read_jsonl,
+    read_jsonl_meta,
     record_telemetry,
 )
 from repro.federated.asynchronous import AsyncConfig, AsyncFederatedSimulation
@@ -176,3 +179,103 @@ class TestOtherModes:
         assert all(
             r["participant_count"] == 3 for r in agg.rounds
         )
+
+
+class TestDroppedWithoutFinish:
+    """Regression: a ``client_dropped`` with no preceding
+    ``client_finished`` must still yield a client row."""
+
+    def test_dropped_only_client_gets_a_row(self):
+        agg = TelemetryAggregator()
+        agg(ClientDropped(round_idx=1, client_id=5, total_s=9.0, time_s=9.0))
+        agg(
+            RoundCompleted(
+                round_idx=1,
+                makespan_s=9.0,
+                mean_time_s=0.0,
+                participant_count=0,
+                accuracy=None,
+                time_s=9.0,
+            )
+        )
+        (record,) = agg.rounds
+        (row,) = record["clients"]
+        assert row["client"] == 5
+        assert row["dropped"] is True
+        assert row["total_s"] == pytest.approx(9.0)
+        assert row["compute_s"] is None
+        assert row["comm_s"] is None
+
+
+class TestSchemaHeaderAndCorruptLines:
+    def test_sink_writes_schema_header(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlSink(str(path)) as sink:
+            assert sink.n_events == 0  # header is not an event
+        (header,) = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert header == {
+            "event": "telemetry_meta",
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+        }
+
+    def test_read_jsonl_meta_extracts_header(self, tiny_dataset, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sim = make_sync_sim(tiny_dataset, with_devices=False)
+        with JsonlSink(str(path)) as sink:
+            sim.events.subscribe(sink)
+            sim.run_round(train=False)
+        read = read_jsonl_meta(path)
+        assert read.schema_version == TELEMETRY_SCHEMA_VERSION
+        assert read.corrupt_lines == 0
+        # the meta line is excluded from the event stream
+        assert all(e["event"] != "telemetry_meta" for e in read.events)
+        assert read.events == read_jsonl(path)
+
+    def test_corrupt_trailing_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"event": "telemetry_meta", "schema_version": 2}\n'
+            '{"event": "round_completed", "round_idx": 1, "time_s": 1.0}\n'
+            '{"event": "round_comp'  # process killed mid-write
+        )
+        read = read_jsonl_meta(path)
+        assert read.corrupt_lines == 1
+        assert [e["event"] for e in read.events] == ["round_completed"]
+
+    def test_non_dict_lines_count_as_corrupt(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('[1, 2, 3]\n"just a string"\n')
+        read = read_jsonl_meta(path)
+        assert read.corrupt_lines == 2
+        assert read.events == []
+        assert read.schema_version is None
+
+
+class TestRecordTelemetryLifecycle:
+    def test_listeners_removed_when_body_raises(self, tmp_path):
+        """The context must deregister its global listeners (and close
+        the sink) even when the run inside it fails."""
+        path = tmp_path / "crash.jsonl"
+        before = len(EventBus._global_listeners)
+        with pytest.raises(RuntimeError, match="boom"):
+            with record_telemetry(str(path)):
+                assert len(EventBus._global_listeners) == before + 2
+                raise RuntimeError("boom")
+        assert len(EventBus._global_listeners) == before
+        # the sink was flushed+closed: the header line is intact
+        assert read_jsonl_meta(path).schema_version == (
+            TELEMETRY_SCHEMA_VERSION
+        )
+
+    def test_nested_contexts_do_not_double_record(self, tiny_dataset):
+        """Each aggregator sees each event once, nesting or not."""
+        with record_telemetry() as outer:
+            with record_telemetry() as inner:
+                sim = make_sync_sim(
+                    tiny_dataset, n_users=2, with_devices=False
+                )
+                sim.run_round(train=False)
+            inner_counts = inner.counts()
+        outer_counts = outer.counts()
+        assert inner_counts["round_completed"] == 1
+        assert outer_counts == inner_counts

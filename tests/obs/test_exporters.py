@@ -1,0 +1,150 @@
+"""Exporters: Prometheus exposition, Chrome trace JSON, dashboard.
+
+The golden files under ``tests/obs/golden/`` are rendered from the
+shared synthetic stream (see ``conftest.py``); regenerate them by
+re-rendering after an intentional format change and eyeballing the
+diff — they are the exporters' compatibility contract.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    MetricRegistry,
+    ObsRecorder,
+    catalog,
+    render_prometheus,
+    render_summary,
+    render_trace_json,
+    trace_events,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture
+def recorder(synthetic_events):
+    rec = ObsRecorder(run_name="synthetic")
+    for event in synthetic_events:
+        rec(event)
+    return rec
+
+
+class TestPrometheusGolden:
+    def test_matches_golden_file(self, recorder):
+        text = render_prometheus(
+            recorder.metrics,
+            extra_info={"source": "synthetic", "schema_version": "2"},
+        )
+        assert text == (GOLDEN / "synthetic.prom").read_text()
+
+    def test_exposition_grammar(self, recorder):
+        """Every non-comment line is ``name{labels} value``."""
+        text = render_prometheus(recorder.metrics)
+        sample = re.compile(
+            r"^[a-z_][a-z0-9_]*(\{[^}]*\})? "
+            r"(NaN|[+-]?Inf|[-+0-9.e]+)$"
+        )
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert sample.match(line), f"bad exposition line: {line!r}"
+
+    def test_histogram_buckets_are_cumulative_and_capped(self, recorder):
+        text = render_prometheus(recorder.metrics)
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'^repro_round_makespan_seconds_bucket\{le="[^"]+"\} '
+                r"(\d+)$",
+                text,
+                re.M,
+            )
+        ]
+        assert counts == sorted(counts)  # cumulative
+        (total,) = re.findall(
+            r"^repro_round_makespan_seconds_count (\d+)$", text, re.M
+        )
+        assert counts[-1] == int(total)  # +Inf bucket == _count
+
+    def test_integers_render_without_decimal_point(self, recorder):
+        text = render_prometheus(recorder.metrics)
+        assert "repro_rounds_total 2\n" in text
+        assert "repro_rounds_total 2.0" not in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricRegistry()
+        reg.counter(catalog.AGGREGATIONS_TOTAL).inc(
+            strategy='we"ird\nname'
+        )
+        text = render_prometheus(reg)
+        assert r'strategy="we\"ird\nname"' in text
+
+    def test_unlabelled_counter_renders_zero_when_untouched(self):
+        reg = MetricRegistry()
+        reg.counter(catalog.ROUNDS_TOTAL)
+        assert "repro_rounds_total 0" in render_prometheus(reg)
+
+
+class TestTraceGolden:
+    def test_matches_golden_file(self, recorder):
+        text = render_trace_json(
+            recorder.finish_spans(), process_name="synthetic"
+        )
+        assert text + "\n" == (
+            GOLDEN / "synthetic.trace.json"
+        ).read_text()
+
+    def test_payload_is_loadable_and_well_formed(self, recorder):
+        payload = json.loads(
+            render_trace_json(recorder.finish_spans())
+        )
+        events = payload["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert event["ph"] in ("X", "i", "M")
+            assert event["pid"] == 1
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_clients_get_their_own_threads(self, recorder):
+        events = trace_events(recorder.finish_spans())
+        client_tids = {
+            e["tid"] for e in events if e.get("cat") == "client"
+        }
+        assert client_tids == {1, 2}  # client 0 -> tid 1, client 1 -> 2
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"engine", "client 0", "client 1"} <= thread_names
+
+    def test_timestamps_are_microseconds(self, recorder):
+        events = trace_events(recorder.finish_spans())
+        runs = [e for e in events if e.get("cat") == "run"]
+        assert runs[0]["dur"] == pytest.approx(16.0 * 1e6)
+
+
+class TestDashboard:
+    def test_summary_sections_and_numbers(self, recorder):
+        text = render_summary(recorder)
+        assert "== run ==" in text
+        assert "rounds: 2" in text
+        assert "fleet energy: 105.00 J" in text
+        assert "== rounds ==" in text
+        assert "== clients ==" in text
+        assert "== scheduling ==" in text
+        assert "olar" in text
+
+    def test_summary_row_limits(self, recorder):
+        text = render_summary(recorder, max_rounds=1)
+        assert "(last 1 of 2)" in text
+
+    def test_empty_recorder_renders(self):
+        text = render_summary(ObsRecorder())
+        assert "events: 0" in text

@@ -1,0 +1,174 @@
+"""ObsRecorder: live fold vs JSONL replay, energy ledger, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import iid_partition
+from repro.data.synthetic import SyntheticConfig, make_dataset
+from repro.device.registry import make_device
+from repro.engine.telemetry import JsonlSink
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+from repro.obs import ObsRecorder, observe_engine
+from repro.obs import catalog
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_dataset(
+        SyntheticConfig(
+            name="obs-test",
+            shape=(1, 8, 8),
+            num_classes=10,
+            train_size=200,
+            test_size=80,
+            noise=1.0,
+            seed=42,
+        )
+    )
+
+
+def make_sim(dataset, n_users=3):
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, n_users, rng)
+    devices = [make_device("pixel2", jitter=0.0) for _ in range(n_users)]
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    return FederatedSimulation(
+        dataset, model, users, devices=devices,
+        config=SimulationConfig(lr=0.05),
+    )
+
+
+class TestSyntheticFold:
+    def test_metrics_from_synthetic_stream(self, synthetic_dicts):
+        rec = ObsRecorder().replay(synthetic_dicts)
+        m = rec.metrics
+        assert m.counter(catalog.ROUNDS_TOTAL).value() == 2
+        assert m.counter(catalog.EVENTS_TOTAL).value(
+            kind="client_finished"
+        ) == 3
+        assert m.counter(catalog.CLIENTS_DROPPED_TOTAL).value(
+            client=1
+        ) == 1
+        assert m.gauge(catalog.ACCURACY).value() == pytest.approx(0.75)
+        assert m.gauge(catalog.CLOCK_SECONDS).value() == pytest.approx(16.0)
+        assert m.counter(catalog.CLIENT_ENERGY_JOULES_TOTAL).value(
+            client=0
+        ) == pytest.approx(50.0)
+        assert m.gauge(catalog.BATTERY_SOC).value(client=1) == (
+            pytest.approx(0.8)
+        )
+        assert m.histogram(catalog.ROUND_MAKESPAN_SECONDS).count() == 2
+        assert m.histogram(catalog.SCHEDULE_SOLVE_MS).count(
+            scheduler="olar"
+        ) == 1
+
+    def test_round_summaries(self, synthetic_dicts):
+        rec = ObsRecorder().replay(synthetic_dicts)
+        assert [r.round_idx for r in rec.rounds] == [1, 2]
+        r1, r2 = rec.rounds
+        assert r1.dropped == 1
+        assert r1.energy_j == pytest.approx(30.0)
+        assert r1.straggler_id == 0  # only client 0 finished
+        assert r2.dropped == 0
+        assert r2.energy_j == pytest.approx(75.0)
+        assert r2.straggler_id == 1
+        assert r2.straggler_s == pytest.approx(6.0)
+
+    def test_energy_ledger(self, synthetic_dicts):
+        rec = ObsRecorder().replay(synthetic_dicts)
+        ledger = rec.energy
+        assert ledger.total_energy_j == pytest.approx(105.0)
+        by_client = {c.client_id: c for c in ledger.by_client()}
+        assert by_client[0].energy_j == pytest.approx(50.0)
+        assert by_client[0].rounds == 2
+        assert by_client[1].dropped == 1
+        assert by_client[1].last_soc == pytest.approx(0.8)
+        assert ledger.round_energy == [
+            (1, pytest.approx(30.0)),
+            (2, pytest.approx(75.0)),
+        ]
+
+    def test_event_counts(self, synthetic_dicts):
+        rec = ObsRecorder().replay(synthetic_dicts)
+        counts = rec.event_counts()
+        assert counts["round_completed"] == 2
+        assert counts["client_dropped"] == 1
+        assert rec.n_events == len(synthetic_dicts)
+
+    def test_trace_disabled_skips_spans(self, synthetic_dicts):
+        rec = ObsRecorder(trace=False).replay(synthetic_dicts)
+        assert rec.spans is None
+        assert rec.finish_spans() == []
+        # metrics still fold
+        assert rec.metrics.counter(catalog.ROUNDS_TOTAL).value() == 2
+
+
+class TestLiveVsReplay:
+    def test_live_engine_matches_jsonl_replay(
+        self, small_dataset, tmp_path
+    ):
+        """Acceptance: the live recorder and a replay from the JSONL
+        the same run streamed agree on every exported number."""
+        from repro.obs import render_prometheus
+
+        path = tmp_path / "run.jsonl"
+        sim = make_sim(small_dataset)
+        sink = JsonlSink(str(path))
+        sim.events.subscribe(sink)
+        live = ObsRecorder()
+        sim.events.subscribe(live)
+        sim.run(2, train=False)
+        sink.close()
+
+        replayed = ObsRecorder.from_jsonl(path)
+        assert replayed.schema_version == 2
+        assert replayed.corrupt_lines == 0
+        assert render_prometheus(replayed.metrics) == render_prometheus(
+            live.metrics
+        )
+        assert len(replayed.rounds) == len(live.rounds) == 2
+        assert replayed.energy.total_energy_j == pytest.approx(
+            live.energy.total_energy_j
+        )
+
+    def test_live_typed_and_dict_folds_agree(self, synthetic_events):
+        from repro.obs import render_prometheus
+
+        typed = ObsRecorder()
+        for event in synthetic_events:
+            typed(event)
+        dicts = ObsRecorder().replay(
+            [e.to_dict() for e in synthetic_events]
+        )
+        assert render_prometheus(typed.metrics) == render_prometheus(
+            dicts.metrics
+        )
+
+    def test_observe_engine_unsubscribes(self, small_dataset):
+        sim = make_sim(small_dataset)
+        with observe_engine(sim.engine) as recorder:
+            sim.run(1, train=False)
+        inside = recorder.n_events
+        assert inside > 0
+        sim.run(1, train=False)
+        assert recorder.n_events == inside  # detached after the context
+
+
+class TestFromJsonlRobustness:
+    def test_corrupt_lines_counted(self, synthetic_jsonl):
+        with synthetic_jsonl.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "round_comp')  # torn final write
+        rec = ObsRecorder.from_jsonl(synthetic_jsonl)
+        assert rec.corrupt_lines == 1
+        assert rec.metrics.counter(catalog.ROUNDS_TOTAL).value() == 2
+
+    def test_meta_header_not_counted_as_event(self, synthetic_jsonl):
+        rec = ObsRecorder.from_jsonl(synthetic_jsonl)
+        n_lines = len(synthetic_jsonl.read_text().splitlines())
+        assert rec.n_events == n_lines - 1  # minus the meta header
+
+    def test_run_name_defaults_to_file_stem(self, synthetic_jsonl):
+        rec = ObsRecorder.from_jsonl(synthetic_jsonl)
+        (run,) = rec.finish_spans()
+        assert run.name == "synthetic"

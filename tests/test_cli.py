@@ -220,11 +220,12 @@ class TestSchedCommands:
             for line in path.read_text().splitlines()
         ]
         assert [e["event"] for e in events] == [
+            "telemetry_meta",
             "schedule_computed",
             "schedule_computed",
         ]
-        assert events[0]["scheduler"] == "olar"
-        assert events[0]["predicted_makespan_s"] > 0
+        assert events[1]["scheduler"] == "olar"
+        assert events[1]["predicted_makespan_s"] > 0
 
     def test_sched_compare_unknown_testbed(self, capsys):
         assert main(["sched", "compare", "--testbed", "z9"]) == 2
@@ -277,5 +278,128 @@ class TestSchedCommands:
             json.loads(line)
             for line in path.read_text().splitlines()
         ]
-        assert len(events) == 1
-        assert events[0]["event"] == "schedule_computed"
+        assert len(events) == 2
+        assert events[0]["event"] == "telemetry_meta"
+        assert events[1]["event"] == "schedule_computed"
+
+
+class TestObsCommands:
+    @pytest.fixture()
+    def run_jsonl(self, tmp_path):
+        """A telemetry capture from the shared synthetic stream."""
+        import json
+
+        from tests.obs.conftest import SYNTHETIC_EVENTS
+
+        path = tmp_path / "run.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"event": "telemetry_meta", "schema_version": 2}
+                )
+                + "\n"
+            )
+            for event in SYNTHETIC_EVENTS:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return path
+
+    def test_summary(self, run_jsonl, capsys):
+        assert main(["obs", "summary", str(run_jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "== run ==" in out
+        assert "rounds: 2" in out
+        assert "== clients ==" in out
+        assert "olar" in out
+
+    def test_summary_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "summary", str(missing)]) == 2
+        assert "no telemetry file" in capsys.readouterr().err
+
+    def test_summary_warns_on_corrupt_lines(self, run_jsonl, capsys):
+        with run_jsonl.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        assert main(["obs", "summary", str(run_jsonl)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt" in captured.err
+
+    def test_export_prom(self, run_jsonl, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "obs", "export-prom", str(run_jsonl),
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        text = out_path.read_text()
+        assert "# TYPE repro_rounds_total counter" in text
+        assert "repro_rounds_total 2" in text
+        assert 'schema_version="2"' in text
+        # without --out the exposition goes to stdout
+        capsys.readouterr()
+        assert main(["obs", "export-prom", str(run_jsonl)]) == 0
+        assert "repro_rounds_total 2" in capsys.readouterr().out
+
+    def test_export_trace(self, run_jsonl, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "obs", "export-trace", str(run_jsonl),
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "round 1" in names
+        assert "client 0" in names
+
+    def test_run_with_obs_flag_prints_dashboard(
+        self, tmp_path, capsys, monkeypatch, tiny_dataset
+    ):
+        """--obs alone (no --telemetry) captures and summarises."""
+        import numpy as np
+
+        import repro.cli as cli
+        from repro.data.partition import iid_partition
+        from repro.device.registry import make_device
+        from repro.experiments.runner import ExperimentResult
+        from repro.federated.simulation import FederatedSimulation
+        from repro.models import logistic
+
+        class _Stub:
+            @staticmethod
+            def run():
+                rng = np.random.default_rng(0)
+                users = iid_partition(tiny_dataset, 2, rng)
+                devices = [
+                    make_device("pixel2", jitter=0.0) for _ in range(2)
+                ]
+                model = logistic(
+                    input_shape=tiny_dataset.input_shape, seed=1
+                )
+                sim = FederatedSimulation(
+                    tiny_dataset, model, users, devices=devices
+                )
+                sim.run(2, train=False)
+                result = ExperimentResult(
+                    name="stub",
+                    description="tiny event-stream fixture",
+                    columns=["rounds"],
+                )
+                result.add_row(rounds=2)
+                return result
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "stub", _Stub)
+        assert main(["run", "stub", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "== run ==" in out
+        assert "rounds: 2" in out
+        assert list(tmp_path.iterdir()) == []  # no file side effects
