@@ -1,0 +1,34 @@
+"""Wall-time budget for the whole-program linter.
+
+The single-parse project model keeps `repro lint` linear in tree size,
+not rule count; this pins the full-repo run (project graph + all ten
+rules, baseline applied) under a 10 second ceiling so the lint gate
+stays cheap enough to run on every CI push and locally before every
+commit.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis import lint_repo
+
+from ._util import run_once
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: hard ceiling for one full-repo lint, in seconds
+LINT_BUDGET_S = 10.0
+
+
+def test_full_repo_lint_under_budget(benchmark):
+    start = time.perf_counter()
+    report = run_once(benchmark, lint_repo, REPO_ROOT)
+    elapsed_s = time.perf_counter() - start
+
+    assert report.files_checked > 50
+    assert len(report.rules_run) == 10
+    assert elapsed_s < LINT_BUDGET_S, (
+        f"full-repo lint took {elapsed_s:.2f}s, budget is "
+        f"{LINT_BUDGET_S:.0f}s — did a rule add a re-parse or an "
+        "O(files^2) pass?"
+    )

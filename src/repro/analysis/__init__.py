@@ -1,14 +1,22 @@
 """``repro.analysis`` — repo-specific static analysis.
 
-A small rule-plugin framework (:mod:`base`) plus the invariant rules
+A rule-plugin framework (:mod:`base`) plus the invariant rules
 (:mod:`rules`) that mechanically lock in what the reproduction's
 claims depend on: bit-determinism (no unseeded RNG, no wall-clock
 reads in simulated code), numeric safety (no float equality), and
 schema/doc coherence (event taxonomy vs. telemetry, scheduler registry
-vs. README/tests). ``repro lint`` is the CLI shell around
-:func:`~repro.analysis.runner.lint_repo`; findings can be suppressed
-per line (``# lint: allow[rule-id]``) or via the checked-in baseline
-(:mod:`baseline`). See ``docs/static-analysis.md``.
+vs. README/tests). On top of the per-file pass sits a whole-program
+model (:mod:`project`): every repo lint builds a symbol table, import
+graph and approximate call graph — parsed exactly once — feeding the
+cross-module rules (event-dispatch exhaustiveness, scheduler contract,
+unit consistency, dead public API).
+
+``repro lint`` is the CLI shell around
+:func:`~repro.analysis.runner.lint_repo`; ``--format sarif`` exports
+GitHub-code-scanning-ready SARIF (:mod:`sarif`), ``--fix`` applies the
+idempotent mechanical rewrites (:mod:`fixes`), and findings can be
+suppressed per line (``# lint: allow[rule-id]``) or via the checked-in
+baseline (:mod:`baseline`). See ``docs/static-analysis.md``.
 """
 
 from . import rules  # register the built-in rule set
@@ -30,7 +38,15 @@ from .baseline import (
     write_baseline,
 )
 from .findings import Finding, Severity
+from .fixes import FIXABLE_RULES, FixResult, apply_fixes, fix_source
+from .project import (
+    ModuleInfo,
+    ProjectGraph,
+    build_project,
+    set_parse_listener,
+)
 from .runner import LintReport, format_findings, lint_repo, lint_source
+from .sarif import render_sarif, sarif_payload
 
 __all__ = [
     "Finding",
@@ -44,10 +60,20 @@ __all__ = [
     "rule_class",
     "available_rules",
     "run_file_rules",
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_project",
+    "set_parse_listener",
     "LintReport",
     "lint_repo",
     "lint_source",
     "format_findings",
+    "render_sarif",
+    "sarif_payload",
+    "FIXABLE_RULES",
+    "FixResult",
+    "apply_fixes",
+    "fix_source",
     "DEFAULT_BASELINE_NAME",
     "load_baseline",
     "write_baseline",

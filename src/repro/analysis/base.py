@@ -34,8 +34,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -46,6 +48,9 @@ from typing import (
 )
 
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectGraph
 
 __all__ = [
     "FileContext",
@@ -72,7 +77,11 @@ class FileContext:
     snippet lives at an arbitrary location. ``imports`` maps local
     names to the dotted module they are bound to (``np`` ->
     ``numpy``), collected up-front so call-site rules can resolve
-    aliased references without a second pass.
+    aliased references without a second pass. ``project`` is the
+    repo-level :class:`ProjectContext` when the file was parsed as part
+    of a whole-repo run (rule API v2: file rules may consult the
+    project graph for cross-module checks); ``None`` for single-snippet
+    lints, where cross-module checks must degrade gracefully.
     """
 
     module: str
@@ -81,6 +90,7 @@ class FileContext:
     lines: List[str] = field(default_factory=list)
     imports: Dict[str, str] = field(default_factory=dict)
     from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    project: Optional["ProjectContext"] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -163,13 +173,30 @@ class FileContext:
         )
 
 
+#: directories scanned (as text, never parsed) for inbound references
+#: by the dead-public-api rule
+REFERENCE_DIRS = ("tests", "examples", "benchmarks")
+
+
 @dataclass
 class ProjectContext:
-    """Repo-level view handed to :class:`ProjectRule` instances."""
+    """Repo-level view handed to :class:`ProjectRule` instances.
+
+    ``graph`` is the whole-program model built by
+    :func:`repro.analysis.project.build_project` — symbol table, import
+    graph and approximate call graph over every parsed source file.
+    Rules must tolerate ``graph is None`` (fixture-driven single-file
+    runs construct bare contexts).
+    """
 
     root: Path
     #: per-file contexts of every linted Python file, keyed by module
     files: Dict[str, FileContext] = field(default_factory=dict)
+    #: whole-program model (symbol table / import graph / call graph)
+    graph: Optional["ProjectGraph"] = None
+    _tokens: Optional[Dict[str, FrozenSet[str]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def read_text(self, relpath: str) -> Optional[str]:
         """Contents of a repo file, or None when absent."""
@@ -180,6 +207,39 @@ class ProjectContext:
 
     def glob(self, pattern: str) -> List[Path]:
         return sorted(self.root.glob(pattern))
+
+    def reference_tokens(self) -> Dict[str, FrozenSet[str]]:
+        """Identifier tokens per repo file, import/``__all__`` lines
+        excluded — the inbound-reference index of the dead-public-api
+        rule.
+
+        Covers every parsed source file (token sets come from the
+        already-built ASTs — no re-parse) plus, textually, the
+        ``tests/``, ``examples/`` and ``benchmarks/`` trees. Built
+        lazily once per lint run and cached.
+        """
+        if self._tokens is not None:
+            return self._tokens
+        from .project import usage_tokens
+
+        index: Dict[str, FrozenSet[str]] = {}
+        for module, ctx in self.files.items():
+            index[module] = frozenset(usage_tokens(ctx.source, ctx.tree))
+        for sub in REFERENCE_DIRS:
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(self.root).as_posix()
+                if rel in index:
+                    continue
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except OSError:  # pragma: no cover - unreadable file
+                    continue
+                index[rel] = frozenset(usage_tokens(text, None))
+        self._tokens = index
+        return index
 
 
 class Rule(ABC):

@@ -4,10 +4,12 @@ The baseline is a checked-in JSON file (``lint-baseline.json`` at the
 repo root) listing *known, accepted* findings so a new rule can land as
 a blocking gate without first fixing the whole tree. Entries match by
 :meth:`repro.analysis.findings.Finding.fingerprint` — rule id, path and
-the stripped source text — not by line number, so edits elsewhere in a
-file do not resurrect suppressed findings. Each fingerprint carries a
-count: fixing some (but not all) identical occurrences still shrinks
-the baseline debt.
+the *whitespace-normalised* source context (``context`` key) — never a
+line number, so edits above a finding, or formatting churn on the
+flagged line itself, do not resurrect or orphan suppressions. Legacy
+entries written under the pre-normalisation ``code`` key are migrated
+transparently on load. Each fingerprint carries a count: fixing some
+(but not all) identical occurrences still shrinks the baseline debt.
 
 Workflow:
 
@@ -27,7 +29,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
-from .findings import Finding
+from .findings import Finding, normalize_context
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",
@@ -51,10 +53,14 @@ def load_baseline(path: Union[str, Path]) -> Counter:
         )
     counts: Counter = Counter()
     for entry in entries:
+        # "context" is the current (normalised) key; "code" is the
+        # legacy raw-source key — normalising it on load migrates old
+        # baselines without a rewrite
+        context = entry.get("context", entry.get("code", ""))
         fp: Fingerprint = (
             str(entry["rule"]),
             str(entry["path"]),
-            str(entry.get("code", "")),
+            normalize_context(str(context)),
         )
         counts[fp] += int(entry.get("count", 1))
     return counts
@@ -66,8 +72,8 @@ def write_baseline(
     """Serialise current findings as the new accepted baseline."""
     counts: Counter = Counter(f.fingerprint() for f in findings)
     entries: List[Dict[str, object]] = [
-        {"rule": rule, "path": mod, "code": code, "count": n}
-        for (rule, mod, code), n in sorted(counts.items())
+        {"rule": rule, "path": mod, "context": context, "count": n}
+        for (rule, mod, context), n in sorted(counts.items())
     ]
     payload = {
         "comment": (

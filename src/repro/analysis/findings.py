@@ -3,9 +3,10 @@
 A :class:`Finding` pins one invariant violation to a file/line and the
 rule that raised it. Findings are value objects: the runner sorts,
 deduplicates and serialises them, and the suppression baseline matches
-them by :meth:`Finding.fingerprint` (rule + path + source text, not the
-line *number*, so unrelated edits above a suppressed finding do not
-invalidate the baseline).
+them by :meth:`Finding.fingerprint` — (rule id, path,
+:func:`normalize_context`-normalised source text), never the line
+*number*, so unrelated edits above (or re-indentation of) a suppressed
+finding do not churn the baseline.
 """
 
 from __future__ import annotations
@@ -13,6 +14,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from typing import Dict, Tuple
+
+__all__ = ["Severity", "Finding", "normalize_context"]
+
+
+def normalize_context(code: str) -> str:
+    """Whitespace-insensitive form of a source line.
+
+    Fingerprints key on this instead of the raw line so pure
+    formatting churn (re-indentation, spacing around operators being
+    collapsed by a formatter) does not invalidate baseline entries.
+    """
+    return " ".join(code.split())
 
 
 class Severity(enum.Enum):
@@ -55,8 +68,9 @@ class Finding:
     code: str = ""
 
     def fingerprint(self) -> Tuple[str, str, str]:
-        """Line-number-independent identity used by the baseline."""
-        return (self.rule_id, self.path, self.code)
+        """Line-shift-stable identity used by the baseline: (rule id,
+        path, whitespace-normalised source context)."""
+        return (self.rule_id, self.path, normalize_context(self.code))
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)

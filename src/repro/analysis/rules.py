@@ -25,13 +25,36 @@ rationale and the fix recipes):
 * ``metric-doc-drift`` — every metric name registered in the
   ``repro.obs`` catalog appears in ``docs/observability.md``, so the
   metric reference cannot drift from the code.
+
+Four rules are *cross-module*: they consume the whole-program model of
+:mod:`repro.analysis.project` (symbol table, import graph, approximate
+call graph) instead of a single AST:
+
+* ``event-dispatch-exhaustiveness`` — every event ``kind`` declared in
+  ``engine/events.py`` is handled by both the live
+  (``ObsRecorder.__call__`` isinstance dispatch) and replay
+  (``ObsRecorder.add_dict`` string dispatch) paths, and no dispatch
+  site targets a class or kind string that does not exist.
+* ``scheduler-contract`` — every ``@register``-ed scheduler subclasses
+  the :class:`~repro.sched.base.Scheduler` ABC, defines or inherits a
+  ``schedule(self, problem)`` with the ABC's shape, and lives in the
+  import closure of ``bench.compare`` (otherwise its registration
+  never runs and the comparison harness silently skips it).
+* ``unit-consistency`` — a lightweight dimensional pass over
+  unit-suffixed names (``_s``/``_ms``/``_j``/``_mah``/``_soc``):
+  adding, comparing or assigning across time↔energy (or s↔ms) is
+  flagged, including across call boundaries via the project call
+  graph (an ``energy_j`` value flowing into a ``time_s`` parameter).
+* ``dead-public-api`` — ``__all__``-exported symbols with no inbound
+  reference anywhere in ``src``, ``tests``, ``examples`` or
+  ``benchmarks`` (import/re-export lines do not count as uses).
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .base import (
     FileContext,
@@ -41,6 +64,7 @@ from .base import (
     rule,
 )
 from .findings import Finding
+from .project import ClassInfo, ModuleInfo, ProjectGraph
 
 __all__ = [
     "NoUnseededRng",
@@ -49,6 +73,10 @@ __all__ = [
     "EventSchemaSync",
     "RegistryDocDrift",
     "MetricDocDrift",
+    "EventDispatchExhaustiveness",
+    "SchedulerContract",
+    "UnitConsistency",
+    "DeadPublicApi",
 ]
 
 
@@ -162,8 +190,16 @@ _WALL_CLOCK_CALLS = frozenset(
     }
 )
 
-#: packages whose notion of time is the simulated clock
-_SIMULATED_TIME_PACKAGES = ("core", "engine", "sched", "network", "obs")
+#: packages whose notion of time is the simulated clock (or, for the
+#: deterministic tooling domains obs/analysis, no host clock at all)
+_SIMULATED_TIME_PACKAGES = (
+    "core",
+    "engine",
+    "sched",
+    "network",
+    "obs",
+    "analysis",
+)
 
 
 @rule("no-wall-clock")
@@ -658,3 +694,691 @@ class MetricDocDrift(ProjectRule):
                     if isinstance(value, str):
                         out.append((value, module, node))
         return out
+
+
+# ---------------------------------------------------------------------------
+# cross-module rule plumbing
+# ---------------------------------------------------------------------------
+
+
+def _project_finding(
+    ctx: ProjectContext,
+    rule_id: str,
+    path: str,
+    lineno: int,
+    message: str,
+    col: int = 0,
+) -> Optional[Finding]:
+    """Build a finding anchored in a repo file; honours inline
+    ``lint: allow`` suppressions (project rules bypass the per-file
+    walk where those are normally applied)."""
+    fctx = ctx.files.get(path)
+    if fctx is not None and fctx.suppressed(lineno, rule_id):
+        return None
+    return Finding(
+        rule_id=rule_id,
+        path=path,
+        line=lineno,
+        col=col,
+        message=message,
+        code=fctx.line_text(lineno) if fctx is not None else "",
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` source text of a Name/Attribute chain (else None)."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _method_node(
+    cls: ClassInfo, name: str
+) -> Optional[ast.FunctionDef]:
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _isinstance_refs(
+    scope: ast.AST,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """(class-reference text, node) per ``isinstance`` target under
+    ``scope`` (tuple second arguments are flattened)."""
+    for sub in ast.walk(scope):
+        if not (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "isinstance"
+            and len(sub.args) == 2
+        ):
+            continue
+        second = sub.args[1]
+        elts = (
+            list(second.elts)
+            if isinstance(second, (ast.Tuple, ast.List))
+            else [second]
+        )
+        for e in elts:
+            text = _dotted(e)
+            if text is not None:
+                yield text, e
+
+
+def _string_eq_comparisons(
+    scope: ast.AST,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """String literals used in ``==`` comparisons under ``scope`` —
+    the shape of a string-keyed dispatch chain."""
+    for sub in ast.walk(scope):
+        if not isinstance(sub, ast.Compare):
+            continue
+        operands = [sub.left, *sub.comparators]
+        for i, op in enumerate(sub.ops):
+            if not isinstance(op, ast.Eq):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                if isinstance(side, ast.Constant) and isinstance(
+                    side.value, str
+                ):
+                    yield side.value, sub
+
+
+def _bound_events_symbol(
+    consumer: ModuleInfo, events: ModuleInfo, ref: str
+) -> Optional[str]:
+    """If ``ref`` (as written in ``consumer``) is bound to a symbol of
+    the events module, return that symbol name, else None."""
+    head, _, rest = ref.partition(".")
+    bound = consumer.bindings.get(head)
+    if bound is None:
+        return None
+    dotted = f"{bound}.{rest}" if rest else bound
+    if "." not in dotted:
+        return None
+    target_mod, sym = dotted.rsplit(".", 1)
+    return sym if target_mod == events.name else None
+
+
+# ---------------------------------------------------------------------------
+# event-dispatch-exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+@rule("event-dispatch-exhaustiveness")
+class EventDispatchExhaustiveness(ProjectRule):
+    """Event taxonomy and its observability consumers must agree.
+
+    Source of truth: the ``EngineEvent`` subclasses (and their ``kind``
+    strings) in ``engine/events.py``. Checked against the graph:
+
+    * ``ObsRecorder.__call__`` (live path) must ``isinstance``-dispatch
+      every event class — a new event otherwise silently vanishes from
+      metrics/spans/energy;
+    * ``ObsRecorder.add_dict`` (replay path) must string-dispatch every
+      declared ``kind`` — live and offline reconstructions would
+      otherwise disagree;
+    * no dispatch site (including ``TelemetryAggregator``) may target a
+      class or kind string that the taxonomy does not declare
+      (``telemetry_meta`` is the sanctioned non-event header kind).
+
+    Consumers are located through the import graph; when a repo has no
+    recorder/aggregator the rule is silent (nothing consumes events, so
+    nothing can be out of sync).
+    """
+
+    description = (
+        "every engine event kind must be handled by the ObsRecorder "
+        "live and replay dispatch, and no dispatch may target an "
+        "undeclared event"
+    )
+
+    def check_project(
+        self, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        graph = ctx.graph
+        if graph is None:
+            return
+        events = graph.module_at("engine/events.py")
+        if events is None:
+            return
+        classes, kinds = self._event_taxonomy(events)
+        if not classes:
+            return
+
+        recorder = self._find_class(graph, "ObsRecorder", "src/repro/obs/")
+        if recorder is not None:
+            rmod, rcls = recorder
+            yield from self._check_live(ctx, graph, events, classes, kinds, rmod, rcls)
+            yield from self._check_replay(ctx, kinds, rmod, rcls)
+        aggregator = self._find_class(
+            graph, "TelemetryAggregator", "src/repro/engine/"
+        )
+        if aggregator is not None:
+            amod, acls = aggregator
+            yield from self._check_targets_exist(
+                ctx, graph, events, amod, acls.node,
+                f"{acls.name}"
+            )
+
+    # -- taxonomy ----------------------------------------------------------
+    @staticmethod
+    def _event_taxonomy(
+        events: ModuleInfo,
+    ) -> Tuple[Dict[str, Optional[str]], Dict[str, str]]:
+        """(event class -> kind string, kind string -> class)."""
+        event_bases = {"EngineEvent"}
+        classes: Dict[str, Optional[str]] = {}
+        kinds: Dict[str, str] = {}
+        for cls in events.classes.values():
+            if not any(
+                b.rsplit(".", 1)[-1] in event_bases for b in cls.bases
+            ):
+                continue
+            event_bases.add(cls.name)
+            kind: Optional[str] = None
+            for stmt in cls.node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "kind"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    kind = stmt.value.value
+                    break
+            classes[cls.name] = kind
+            if kind is not None:
+                kinds[kind] = cls.name
+        return classes, kinds
+
+    @staticmethod
+    def _find_class(
+        graph: "ProjectGraph", name: str, path_prefix: str
+    ) -> Optional[Tuple[ModuleInfo, ClassInfo]]:
+        """Locate a consumer class, preferring its canonical package."""
+        fallback: Optional[Tuple[ModuleInfo, ClassInfo]] = None
+        for path in sorted(graph.by_path):
+            info = graph.by_path[path]
+            cls = info.classes.get(name)
+            if cls is None:
+                continue
+            if path.startswith(path_prefix):
+                return (info, cls)
+            if fallback is None:
+                fallback = (info, cls)
+        return fallback
+
+    # -- checks ------------------------------------------------------------
+    def _check_live(
+        self,
+        ctx: ProjectContext,
+        graph: "ProjectGraph",
+        events: ModuleInfo,
+        classes: Dict[str, Optional[str]],
+        kinds: Dict[str, str],
+        rmod: ModuleInfo,
+        rcls: ClassInfo,
+    ) -> Iterator[Finding]:
+        call = _method_node(rcls, "__call__")
+        if call is None:
+            return
+        handled: Set[str] = set()
+        for ref, node in _isinstance_refs(call):
+            resolved = graph.resolve_class(rmod.name, ref)
+            if (
+                resolved is not None
+                and resolved[0] is events
+                and resolved[1].name in classes
+            ):
+                handled.add(resolved[1].name)
+                continue
+            sym = _bound_events_symbol(rmod, events, ref)
+            if sym is not None and not events.has_symbol(sym):
+                f = _project_finding(
+                    ctx,
+                    self.id,
+                    rmod.path,
+                    getattr(node, "lineno", call.lineno),
+                    f"{rcls.name}.__call__ dispatches on {sym}, which "
+                    f"does not exist in {events.name} — stale or "
+                    "misspelled event class",
+                    col=getattr(node, "col_offset", 0),
+                )
+                if f is not None:
+                    yield f
+        for name in sorted(set(classes) - handled):
+            kind = classes[name]
+            label = f" (kind {kind!r})" if kind else ""
+            f = _project_finding(
+                ctx,
+                self.id,
+                rmod.path,
+                call.lineno,
+                f"event class {name}{label} is not handled by "
+                f"{rcls.name}.__call__ — live captures silently drop "
+                "it; add an isinstance branch",
+            )
+            if f is not None:
+                yield f
+
+    def _check_replay(
+        self,
+        ctx: ProjectContext,
+        kinds: Dict[str, str],
+        rmod: ModuleInfo,
+        rcls: ClassInfo,
+    ) -> Iterator[Finding]:
+        add_dict = _method_node(rcls, "add_dict")
+        if add_dict is None:
+            return
+        seen: Set[str] = set()
+        for value, node in _string_eq_comparisons(add_dict):
+            if value == "telemetry_meta":
+                continue
+            if value in kinds:
+                seen.add(value)
+            else:
+                f = _project_finding(
+                    ctx,
+                    self.id,
+                    rmod.path,
+                    getattr(node, "lineno", add_dict.lineno),
+                    f"{rcls.name}.add_dict dispatches on kind "
+                    f"{value!r}, which no event class declares — this "
+                    "branch can never run",
+                    col=getattr(node, "col_offset", 0),
+                )
+                if f is not None:
+                    yield f
+        for kind in sorted(set(kinds) - seen):
+            f = _project_finding(
+                ctx,
+                self.id,
+                rmod.path,
+                add_dict.lineno,
+                f"event kind {kind!r} ({kinds[kind]}) is not handled "
+                f"by {rcls.name}.add_dict — replayed captures diverge "
+                "from live ones; add a kind branch",
+            )
+            if f is not None:
+                yield f
+
+    def _check_targets_exist(
+        self,
+        ctx: ProjectContext,
+        graph: "ProjectGraph",
+        events: ModuleInfo,
+        cmod: ModuleInfo,
+        scope: ast.AST,
+        label: str,
+    ) -> Iterator[Finding]:
+        for ref, node in _isinstance_refs(scope):
+            if graph.resolve_class(cmod.name, ref) is not None:
+                continue
+            sym = _bound_events_symbol(cmod, events, ref)
+            if sym is not None and not events.has_symbol(sym):
+                f = _project_finding(
+                    ctx,
+                    self.id,
+                    cmod.path,
+                    getattr(node, "lineno", 1),
+                    f"{label} dispatches on {sym}, which does not "
+                    f"exist in {events.name} — stale or misspelled "
+                    "event class",
+                    col=getattr(node, "col_offset", 0),
+                )
+                if f is not None:
+                    yield f
+
+
+# ---------------------------------------------------------------------------
+# scheduler-contract
+# ---------------------------------------------------------------------------
+
+
+@rule("scheduler-contract")
+class SchedulerContract(ProjectRule):
+    """Registered schedulers must honour the ABC and be reachable.
+
+    For every ``@register("name")``-decorated class under
+    ``src/repro/sched``:
+
+    * it must (transitively) subclass the ``Scheduler`` ABC;
+    * it must define or inherit ``schedule`` with the ABC's shape —
+      exactly ``(self, problem)`` required, extras defaulted, and a
+      return annotation (when present) of ``Assignment``;
+    * its module must sit in the import closure of the comparison
+      harness (``sched/bench.py``): registration is an import
+      side-effect, so an unreachable module means ``bench.compare``
+      silently never sees the scheduler.
+    """
+
+    description = (
+        "@register-ed schedulers must subclass Scheduler, match the "
+        "schedule() signature and be importable from bench.compare"
+    )
+
+    def check_project(
+        self, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        graph = ctx.graph
+        if graph is None:
+            return
+        registered = [
+            (info, cls)
+            for path, info in sorted(graph.by_path.items())
+            if path.startswith("src/repro/sched/")
+            for cls in info.classes.values()
+            if any(
+                d.rsplit(".", 1)[-1] == "register"
+                for d in cls.decorators
+            )
+        ]
+        if not registered:
+            return
+        bench = graph.module_at("sched/bench.py")
+        closure: Optional[Set[str]] = (
+            graph.import_closure([bench.name])
+            if bench is not None and "compare" in bench.functions
+            else None
+        )
+        for info, cls in registered:
+            yield from self._check_one(ctx, graph, info, cls, closure)
+
+    def _check_one(
+        self,
+        ctx: ProjectContext,
+        graph: "ProjectGraph",
+        info: ModuleInfo,
+        cls: ClassInfo,
+        closure: Optional[Set[str]],
+    ) -> Iterator[Finding]:
+        def emit(lineno: int, message: str) -> Optional[Finding]:
+            return _project_finding(
+                ctx, self.id, info.path, lineno, message
+            )
+
+        if not graph.inherits_from(info.name, cls, "Scheduler"):
+            f = emit(
+                cls.lineno,
+                f"registered scheduler {cls.name} does not subclass "
+                "the Scheduler ABC — it will not satisfy the "
+                "schedule() contract the engine calls",
+            )
+            if f is not None:
+                yield f
+        found = graph.find_method(info.name, cls, "schedule")
+        if found is None:
+            f = emit(
+                cls.lineno,
+                f"registered scheduler {cls.name} neither defines nor "
+                "inherits schedule(); get_scheduler(...).schedule(...) "
+                "will raise at run time",
+            )
+            if f is not None:
+                yield f
+        else:
+            fn = cls.methods.get("schedule")
+            if fn is not None:
+                required = fn.required_params
+                if len(required) > 2 or (
+                    len(fn.params) < 2 and not fn.has_vararg
+                ):
+                    f = emit(
+                        fn.lineno,
+                        f"{cls.name}.schedule{tuple(fn.params)} does "
+                        "not match the Scheduler ABC shape "
+                        "schedule(self, problem) — extra parameters "
+                        "must carry defaults",
+                    )
+                    if f is not None:
+                        yield f
+                returns = (fn.returns or "").strip("'\"")
+                if returns and returns.rsplit(".", 1)[-1] != "Assignment":
+                    f = emit(
+                        fn.lineno,
+                        f"{cls.name}.schedule returns {returns!r}; the "
+                        "Scheduler contract requires an Assignment",
+                    )
+                    if f is not None:
+                        yield f
+        if closure is not None and info.name not in closure:
+            f = emit(
+                cls.lineno,
+                f"scheduler {cls.name} is registered in {info.name}, "
+                "which bench.compare never imports — the registration "
+                "side-effect never runs and the comparison harness "
+                "silently skips it",
+            )
+            if f is not None:
+                yield f
+
+
+# ---------------------------------------------------------------------------
+# unit-consistency
+# ---------------------------------------------------------------------------
+
+#: name suffix -> (dimension, canonical unit label)
+_UNIT_SUFFIXES: Dict[str, Tuple[str, str]] = {
+    "s": ("time", "s"),
+    "sec": ("time", "s"),
+    "secs": ("time", "s"),
+    "seconds": ("time", "s"),
+    "ms": ("time", "ms"),
+    "j": ("energy", "J"),
+    "joules": ("energy", "J"),
+    "mah": ("charge", "mAh"),
+    "soc": ("state-of-charge fraction", "SoC"),
+}
+
+#: packages where unit-suffixed names are the load-bearing convention
+_UNIT_PACKAGES = ("core", "engine", "sched", "network", "device", "obs")
+
+
+def _suffix_unit(name: str) -> Optional[Tuple[str, str]]:
+    """Unit of a ``_s``/``_ms``/``_j``/``_mah``/``_soc``-suffixed name."""
+    if "_" not in name:
+        return None
+    return _UNIT_SUFFIXES.get(name.rsplit("_", 1)[1].lower())
+
+
+def _expr_unit(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """Unit of an expression, where syntactically evident."""
+    if isinstance(node, ast.Name):
+        return _suffix_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _suffix_unit(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        left, right = _expr_unit(node.left), _expr_unit(node.right)
+        return left if left is not None and left == right else None
+    return None
+
+
+@rule("unit-consistency")
+class UnitConsistency(FileRule):
+    """Dimensional sanity over unit-suffixed names.
+
+    The repo's convention encodes units in names (``makespan_s``,
+    ``energy_j``, ``solve_ms``, ``battery_soc``); this rule flags the
+    operations that silently cross dimensions: adding/subtracting,
+    comparing or assigning a time to an energy (or seconds to
+    milliseconds), and — through the project call graph — passing a
+    unit-suffixed argument into a parameter carrying a different unit.
+    Multiplication/division are exempt (that is how conversions are
+    written); names without a recognised suffix have no unit and never
+    participate.
+    """
+
+    description = (
+        "unit-suffixed names (_s/_ms/_j/_mah/_soc) must not mix "
+        "dimensions in arithmetic, comparisons, assignments or calls"
+    )
+    node_types = (
+        ast.BinOp,
+        ast.Compare,
+        ast.Assign,
+        ast.AugAssign,
+        ast.Call,
+    )
+
+    def __init__(self) -> None:
+        self._call_targets: Optional[Dict[int, str]] = None
+
+    def applies_to(self, module: str) -> bool:
+        return _in_packages(module, _UNIT_PACKAGES)
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pair(
+                    node, node.left, node.right, ctx,
+                    "added/subtracted with",
+                )
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for i in range(len(node.ops)):
+                yield from self._pair(
+                    node, operands[i], operands[i + 1], ctx,
+                    "compared against",
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Name, ast.Attribute)):
+                    yield from self._pair(
+                        node, target, node.value, ctx, "assigned from"
+                    )
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pair(
+                    node, node.target, node.value, ctx,
+                    "added/subtracted with",
+                )
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+
+    def _pair(
+        self,
+        anchor: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        ctx: FileContext,
+        verb: str,
+    ) -> Iterator[Finding]:
+        lu, ru = _expr_unit(left), _expr_unit(right)
+        if lu is None or ru is None or lu == ru:
+            return
+        yield ctx.finding(
+            self.id,
+            anchor,
+            f"{lu[0]} ({lu[1]}) {verb} {ru[0]} ({ru[1]}); convert "
+            "explicitly (multiply/divide) or rename one side — mixed "
+            "units here are silent correctness bugs",
+        )
+
+    # -- cross-call flow ---------------------------------------------------
+    def _check_call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if ctx.project is None or ctx.project.graph is None:
+            return
+        graph = ctx.project.graph
+        minfo = graph.by_path.get(ctx.module)
+        if minfo is None:
+            return
+        if self._call_targets is None:
+            self._call_targets = {
+                id(call): dotted for dotted, call in minfo.calls
+            }
+        dotted = self._call_targets.get(id(node))
+        if dotted is None:
+            return
+        resolved = graph.resolve_call_target(minfo.name, dotted)
+        if resolved is None:
+            return
+        tmod, fn = resolved
+        pairs: List[Tuple[str, ast.AST]] = list(
+            zip(fn.params, node.args)
+        )
+        pairs.extend(
+            (kw.arg, kw.value)
+            for kw in node.keywords
+            if kw.arg is not None and kw.arg in fn.params
+        )
+        for param, arg in pairs:
+            pu, au = _suffix_unit(param), _expr_unit(arg)
+            if pu is None or au is None or pu == au:
+                continue
+            yield ctx.finding(
+                self.id,
+                arg,
+                f"{au[0]} ({au[1]}) argument flows into parameter "
+                f"{param!r} of {tmod.name}.{fn.name}, which expects "
+                f"{pu[0]} ({pu[1]}); convert at the call site or "
+                "rename the parameter",
+            )
+
+
+# ---------------------------------------------------------------------------
+# dead-public-api
+# ---------------------------------------------------------------------------
+
+
+@rule("dead-public-api")
+class DeadPublicApi(ProjectRule):
+    """``__all__`` exports must have at least one inbound reference.
+
+    A symbol is *used* when its name occurs outside import statements
+    and ``__all__`` blocks in any other file — ``src`` modules (via
+    their ASTs) plus the ``tests``/``examples``/``benchmarks`` trees
+    (textually). Re-exporting a name is not using it: an export chain
+    nobody consumes is exactly the drift this rule exists to catch.
+    """
+
+    description = (
+        "__all__ exports need an inbound reference from src, tests, "
+        "examples or benchmarks"
+    )
+
+    def check_project(
+        self, ctx: ProjectContext
+    ) -> Iterable[Finding]:
+        graph = ctx.graph
+        if graph is None:
+            return
+        tokens = ctx.reference_tokens()
+        for path, info in sorted(graph.by_path.items()):
+            if not info.exports:
+                continue
+            for name in info.exports:
+                if any(
+                    name in toks
+                    for other, toks in tokens.items()
+                    if other != path
+                ):
+                    continue
+                f = _project_finding(
+                    ctx,
+                    self.id,
+                    path,
+                    info.symbol_lineno(name),
+                    f"{info.name}.__all__ exports {name!r} but nothing "
+                    "in src, tests, examples or benchmarks references "
+                    "it — drop the export (and the symbol, if truly "
+                    "dead) or add the missing consumer",
+                )
+                if f is not None:
+                    yield f

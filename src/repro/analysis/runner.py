@@ -3,12 +3,20 @@
 ``lint_repo(root)`` is the whole pipeline behind ``repro lint``:
 
 1. discover Python files (``src/repro`` by default),
-2. parse each file once and run every applicable
-   :class:`~repro.analysis.base.FileRule` in a single AST pass,
-3. run the :class:`~repro.analysis.base.ProjectRule` set over the
-   repo-level context (README, tests layout),
-4. subtract the suppression baseline,
-5. return a :class:`LintReport` the CLI renders as text or JSON.
+2. build the whole-program model via
+   :func:`repro.analysis.project.build_project` — every file is parsed
+   exactly once there, and the resulting
+   :class:`~repro.analysis.project.ProjectGraph` feeds the
+   cross-module rules,
+3. run every applicable :class:`~repro.analysis.base.FileRule` in a
+   single AST pass per file (each file context carries the project
+   backref, so file rules may consult the graph too),
+4. run the :class:`~repro.analysis.base.ProjectRule` set over the
+   repo-level context,
+5. subtract the suppression baseline (and, for ``--changed``, restrict
+   the report to the requested paths — the graph stays whole-repo so
+   cross-module rules keep seeing everything),
+6. return a :class:`LintReport` the CLI renders as text, JSON or SARIF.
 """
 
 from __future__ import annotations
@@ -17,11 +25,10 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .base import (
     FileContext,
-    ProjectContext,
     ProjectRule,
     available_rules,
     rule_class,
@@ -33,6 +40,7 @@ from .baseline import (
     load_baseline,
 )
 from .findings import Finding, Severity
+from .project import build_project
 
 __all__ = [
     "LintReport",
@@ -121,6 +129,7 @@ def lint_repo(
     rule_ids: Optional[Sequence[str]] = None,
     baseline: Optional[Union[str, Path]] = None,
     use_baseline: bool = True,
+    only_paths: Optional[Sequence[str]] = None,
 ) -> LintReport:
     """Run the full rule set over a repo checkout.
 
@@ -137,6 +146,12 @@ def lint_repo(
         ``<root>/lint-baseline.json`` when present.
     use_baseline:
         ``False`` disables suppression entirely (``--no-baseline``).
+    only_paths:
+        Repo-relative paths to *report on* (``--changed``). The full
+        project graph is still built — cross-module rules need the
+        whole repo — but findings outside these paths are dropped
+        after baseline application. Stale-baseline detection stays
+        global, so a shrunk baseline cannot hide behind a narrow diff.
     """
     root = Path(root).resolve()
     targets = (
@@ -146,30 +161,10 @@ def lint_repo(
     )
     ids = tuple(rule_ids) if rule_ids is not None else available_rules()
 
-    findings: List[Finding] = []
-    parse_errors: List[Finding] = []
-    project_ctx = ProjectContext(root=root)
     files = _discover(root, targets)
-    for path in files:
-        try:
-            module = path.resolve().relative_to(root).as_posix()
-        except ValueError:
-            module = path.as_posix()
-        source = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            parse_errors.append(
-                Finding(
-                    rule_id="parse-error",
-                    path=module,
-                    line=exc.lineno or 1,
-                    message=f"cannot parse: {exc.msg}",
-                )
-            )
-            continue
-        ctx = FileContext(module=module, source=source, tree=tree)
-        project_ctx.files[module] = ctx
+    project_ctx, parse_errors = build_project(root, files)
+    findings: List[Finding] = []
+    for ctx in project_ctx.files.values():
         findings.extend(run_file_rules(ctx, ids))
 
     for rid in ids:
@@ -191,6 +186,12 @@ def lint_repo(
         kept, stale = apply_baseline(findings, budget)
         suppressed = len(findings) - len(kept)
         findings = kept
+    if only_paths is not None:
+        wanted: Set[str] = {
+            Path(p).as_posix().lstrip("./") for p in only_paths
+        }
+        findings = [f for f in findings if f.path in wanted]
+        parse_errors = [f for f in parse_errors if f.path in wanted]
     return LintReport(
         findings=findings,
         files_checked=len(files),
@@ -202,11 +203,15 @@ def lint_repo(
 
 
 def format_findings(report: LintReport, fmt: str = "text") -> str:
-    """Render a report for the CLI (``text`` or ``json``)."""
+    """Render a report for the CLI (``text``, ``json`` or ``sarif``)."""
     if fmt == "json":
         return json.dumps(report.to_dict(), indent=2)
+    if fmt == "sarif":
+        from .sarif import render_sarif
+
+        return render_sarif(report)
     if fmt != "text":
-        raise ValueError(f"unknown format {fmt!r} (text or json)")
+        raise ValueError(f"unknown format {fmt!r} (text, json or sarif)")
     lines: List[str] = []
     for f in sorted(
         [*report.findings, *report.parse_errors], key=Finding.sort_key

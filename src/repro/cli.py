@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from . import __version__
 from . import experiments as E
 from .device.registry import DEVICE_NAMES, TESTBEDS, build_spec, make_device
 from .device.workload import TrainingWorkload
@@ -401,8 +402,34 @@ def cmd_obs_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_files(root: Path) -> "List[str] | None":
+    """Repo-relative paths touched vs HEAD (staged, unstaged and
+    untracked); None when git is unavailable or errors."""
+    import subprocess
+
+    changed: List[str] = []
+    for cmd in (
+        ["git", "-C", str(root), "diff", "--name-only", "HEAD"],
+        [
+            "git", "-C", str(root), "ls-files",
+            "--others", "--exclude-standard",
+        ],
+    ):
+        try:
+            out = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        changed.extend(
+            line.strip() for line in out.splitlines() if line.strip()
+        )
+    return sorted(set(changed))
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import (
+        apply_fixes,
         available_rules,
         format_findings,
         lint_repo,
@@ -421,13 +448,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print("registered lint rules (repro.analysis):")
         for rid in available_rules():
-            print(f"  {rid:20s} {rule_class(rid).description}")
+            print(f"  {rid:32s} {rule_class(rid).description}")
         return 0
+    if args.dry_run and not args.fix:
+        print("error: --dry-run only makes sense with --fix",
+              file=sys.stderr)
+        return 2
+    if args.fix:
+        result = apply_fixes(
+            root, paths=args.paths or None, dry_run=args.dry_run
+        )
+        if args.dry_run:
+            print(result.diff(), end="")
+            print(
+                f"would fix {result.n_edits} violation(s) in "
+                f"{len(result.fixes)} file(s) (dry run; nothing written)"
+            )
+        else:
+            for fix in result.fixes:
+                print(f"fixed {fix.path} ({fix.n_edits} edit(s))")
+            print(
+                f"fixed {result.n_edits} violation(s) in "
+                f"{len(result.fixes)} file(s); re-run repro lint"
+            )
+        return 0
+    only_paths = None
+    if args.changed:
+        only_paths = _git_changed_files(root)
+        if only_paths is None:
+            print(
+                "error: --changed needs a git checkout (git diff "
+                "failed); lint without it",
+                file=sys.stderr,
+            )
+            return 2
+        only_paths = [p for p in only_paths if p.endswith(".py")]
     report = lint_repo(
         root,
         paths=args.paths or None,
         baseline=args.baseline,
         use_baseline=not args.no_baseline,
+        only_paths=only_paths,
     )
     if args.write_baseline:
         target = Path(args.baseline) if args.baseline else root / (
@@ -447,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Optimize Scheduling of Federated "
         "Learning on Battery-powered Mobile Devices' (IPDPS 2020)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -611,9 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default text)",
+        help="output format (default text; sarif for GitHub code "
+        "scanning)",
     )
     p_lint.add_argument(
         "--root",
@@ -641,6 +708,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    p_lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanical autofixes (seed stub for "
+        "default_rng(), time.time->perf_counter, missing __all__ "
+        "event exports) and exit",
+    )
+    p_lint.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff, write nothing",
+    )
+    p_lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for git-changed files (the whole "
+        "project graph is still analysed)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

@@ -21,7 +21,7 @@ from ..data.synthetic import load_preset
 from .flruns import FLRunConfig, train_partition
 from .runner import ExperimentResult
 
-__all__ = ["Fig3Config", "run", "run_nclass", "run_outliers"]
+__all__ = ["Fig3Config", "run"]
 
 
 @dataclass

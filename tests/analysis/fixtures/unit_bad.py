@@ -1,0 +1,11 @@
+"""Fixture: unit-suffixed names mixing dimensions (all flagged)."""
+
+
+def total(compute_s, energy_j):
+    bad_sum = compute_s + energy_j
+    if compute_s > energy_j:
+        bad_sum = 0.0
+    time_s = energy_j
+    acc_ms = 0.0
+    acc_ms += compute_s
+    return bad_sum, time_s, acc_ms

@@ -1,0 +1,10 @@
+"""Fixture: consistent units, explicit conversions (nothing flagged)."""
+
+
+def total(compute_s, comm_s, energy_j):
+    total_s = compute_s + comm_s
+    solve_ms = total_s * 1000.0
+    if total_s > comm_s:
+        total_s = comm_s
+    energy_total_j = energy_j + energy_j
+    return total_s, solve_ms, energy_total_j

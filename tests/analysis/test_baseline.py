@@ -80,3 +80,50 @@ def test_roundtrip_and_counts(tmp_path):
     kept, stale = apply_baseline([f], budget)
     assert kept == []
     assert stale == [f.fingerprint()]
+
+
+def test_baseline_survives_line_shifts_and_formatting(tmp_path):
+    root = make_repo(tmp_path, BAD_ENGINE_FILE)
+    write_baseline(
+        root / "lint-baseline.json", lint_repo(root).findings
+    )
+    # move the violation down and change its indentation-insensitive
+    # whitespace; the context-keyed fingerprint must still match
+    (root / "src" / "repro" / "engine" / "clock.py").write_text(
+        "import time\n\n\n# moved\nT0  =  time.time()\n",
+        encoding="utf-8",
+    )
+    report = lint_repo(root)
+    assert report.findings == []
+    assert report.stale_baseline == []
+    assert report.suppressed == 1
+    assert report.exit_code == 0
+
+
+def test_legacy_code_key_is_migrated_on_load(tmp_path):
+    import json
+
+    root = make_repo(tmp_path, BAD_ENGINE_FILE)
+    # a pre-normalisation baseline entry: raw source under "code"
+    (root / "lint-baseline.json").write_text(
+        json.dumps(
+            {
+                "suppressions": [
+                    {
+                        "rule": "no-wall-clock",
+                        "path": "src/repro/engine/clock.py",
+                        "code": "T0 =   time.time()",
+                        "count": 1,
+                    }
+                ]
+            }
+        ),
+        encoding="utf-8",
+    )
+    budget = load_baseline(root / "lint-baseline.json")
+    (fp,) = budget
+    assert fp[2] == "T0 = time.time()"  # normalised on load
+    report = lint_repo(root)
+    assert report.findings == []
+    assert report.suppressed == 1
+    assert report.exit_code == 0

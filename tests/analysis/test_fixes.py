@@ -1,0 +1,219 @@
+"""Autofix engine: each fixer's rewrite, idempotence, suppression,
+good fixtures untouched, and the --fix / --fix --dry-run CLI."""
+
+from pathlib import Path
+
+from repro.analysis import (
+    FIXABLE_RULES,
+    FixResult,
+    apply_fixes,
+    fix_source,
+    lint_repo,
+)
+from repro.analysis.fixes import FileFix
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RNG_MODULE = "src/repro/device/rng.py"
+CLOCK_MODULE = "src/repro/engine/clock.py"
+EVENTS_MODULE = "src/repro/engine/events.py"
+
+
+def test_fixable_rules_are_registered_subset():
+    from repro.analysis import available_rules
+
+    assert set(FIXABLE_RULES) <= set(available_rules())
+
+
+# ---------------------------------------------------------------------------
+# individual fixers
+# ---------------------------------------------------------------------------
+
+
+def test_fix_unseeded_rng():
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "gen = np.random.default_rng()\n"
+        "ok = np.random.default_rng(42)\n"
+    )
+    fixed, n = fix_source(source, RNG_MODULE)
+    assert n == 1
+    assert "np.random.default_rng(0)" in fixed
+    assert "default_rng(42)" in fixed
+
+
+def test_fix_wall_clock():
+    source = (
+        "import time\n"
+        "\n"
+        "start = time.time()\n"
+        "nanos = time.time_ns()\n"
+    )
+    fixed, n = fix_source(source, CLOCK_MODULE)
+    assert n == 2
+    assert "time.perf_counter()" in fixed
+    assert "time.perf_counter_ns()" in fixed
+    assert "time.time()" not in fixed
+
+
+def test_fix_wall_clock_leaves_bare_calls_alone():
+    # `from time import time; time()` needs an import rewrite too,
+    # which is not mechanical — the rule still reports it, --fix skips
+    source = "from time import time\n\nstart = time()\n"
+    fixed, n = fix_source(source, CLOCK_MODULE)
+    assert n == 0
+    assert fixed == source
+
+
+def test_fix_missing_all_multiline():
+    source = (
+        "__all__ = [\n"
+        "    \"EngineEvent\",\n"
+        "    \"TickEvent\",\n"
+        "]\n"
+        "\n"
+        "\n"
+        "class EngineEvent:\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "class TickEvent(EngineEvent):\n"
+        "    kind: str = \"tick\"\n"
+        "\n"
+        "\n"
+        "class DoneEvent(EngineEvent):\n"
+        "    kind: str = \"done\"\n"
+    )
+    fixed, n = fix_source(source, EVENTS_MODULE)
+    assert n == 1
+    assert "    \"DoneEvent\",\n]" in fixed
+
+
+def test_fix_missing_all_single_line():
+    source = (
+        "__all__ = [\"EngineEvent\"]\n"
+        "\n"
+        "\n"
+        "class EngineEvent:\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "class DoneEvent(EngineEvent):\n"
+        "    kind: str = \"done\"\n"
+    )
+    fixed, n = fix_source(source, EVENTS_MODULE)
+    assert n == 1
+    assert "__all__ = [\"EngineEvent\", \"DoneEvent\"]" in fixed
+
+
+def test_fix_honours_inline_allow():
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "gen = np.random.default_rng()  # lint: allow[no-unseeded-rng]\n"
+    )
+    fixed, n = fix_source(source, RNG_MODULE)
+    assert n == 0
+    assert fixed == source
+
+
+def test_fix_is_scoped_like_the_rules():
+    # plots/ is outside the no-wall-clock banned packages
+    source = "import time\n\nstart = time.time()\n"
+    fixed, n = fix_source(source, "src/repro/plots/render.py")
+    assert n == 0
+    assert fixed == source
+
+
+def test_fixes_are_idempotent_on_bad_fixtures():
+    for fixture, module in [
+        ("rng_bad.py", RNG_MODULE),
+        ("wall_clock_bad.py", CLOCK_MODULE),
+        ("events_bad.py", EVENTS_MODULE),
+    ]:
+        source = (FIXTURES / fixture).read_text(encoding="utf-8")
+        once, n1 = fix_source(source, module)
+        twice, n2 = fix_source(once, module)
+        assert n1 > 0, fixture
+        assert n2 == 0, fixture
+        assert twice == once, fixture
+
+
+def test_good_fixtures_are_untouched():
+    for fixture in sorted(FIXTURES.glob("*_good.py")):
+        source = fixture.read_text(encoding="utf-8")
+        fixed, n = fix_source(
+            source, f"src/repro/engine/{fixture.name}"
+        )
+        assert n == 0, fixture.name
+        assert fixed == source, fixture.name
+
+
+# ---------------------------------------------------------------------------
+# apply_fixes + CLI
+# ---------------------------------------------------------------------------
+
+
+def clock_repo(tmp_path: Path) -> Path:
+    target = tmp_path / "src" / "repro" / "engine" / "clock.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "import time\n\nstart = time.time()\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_apply_fixes_dry_run_writes_nothing(tmp_path):
+    root = clock_repo(tmp_path)
+    target = root / "src" / "repro" / "engine" / "clock.py"
+    before = target.read_text(encoding="utf-8")
+
+    result = apply_fixes(root, dry_run=True)
+    assert isinstance(result, FixResult)
+    assert result.dry_run
+    assert result.n_edits == 1
+    assert target.read_text(encoding="utf-8") == before
+
+    (fix,) = result.fixes
+    assert isinstance(fix, FileFix)
+    diff = result.diff()
+    assert "a/src/repro/engine/clock.py" in diff
+    assert "-start = time.time()" in diff
+    assert "+start = time.perf_counter()" in diff
+
+
+def test_apply_fixes_writes_and_converges(tmp_path):
+    root = clock_repo(tmp_path)
+    result = apply_fixes(root)
+    assert result.n_edits == 1
+    # the violation is gone, a second pass has nothing to do
+    assert apply_fixes(root).n_edits == 0
+    assert lint_repo(root, use_baseline=False).findings == []
+
+
+def test_cli_fix_dry_run_then_fix(tmp_path, capsys):
+    root = clock_repo(tmp_path)
+    target = root / "src" / "repro" / "engine" / "clock.py"
+    before = target.read_text(encoding="utf-8")
+
+    assert main(["lint", "--root", str(root), "--fix", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "dry run" in out
+    assert "+start = time.perf_counter()" in out
+    assert target.read_text(encoding="utf-8") == before
+
+    assert main(["lint", "--root", str(root), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed src/repro/engine/clock.py" in out
+    assert "perf_counter" in target.read_text(encoding="utf-8")
+
+    assert main(["lint", "--root", str(root)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_dry_run_requires_fix(tmp_path, capsys):
+    root = clock_repo(tmp_path)
+    assert main(["lint", "--root", str(root), "--dry-run"]) == 2
+    assert "--fix" in capsys.readouterr().err

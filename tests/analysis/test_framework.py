@@ -1,27 +1,71 @@
-"""Framework-level behaviour: registry, suppression, fingerprints."""
+"""Framework-level behaviour: registry, suppression, fingerprints,
+and the rule-table drift gate over the docs."""
+
+from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
     Finding,
+    FileRule,
+    ProjectRule,
+    Rule,
     Severity,
     available_rules,
     lint_source,
     rule_class,
 )
+from repro.analysis.rules import (
+    DeadPublicApi,
+    EventDispatchExhaustiveness,
+    EventSchemaSync,
+    MetricDocDrift,
+    NoFloatEquality,
+    NoUnseededRng,
+    NoWallClock,
+    RegistryDocDrift,
+    SchedulerContract,
+    UnitConsistency,
+)
 
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: the complete rule set — id -> implementing class; adding a rule
+#: without extending this table (and the docs, see the drift test
+#: below) is a test failure by design
 EXPECTED_RULES = {
-    "event-schema-sync",
-    "metric-doc-drift",
-    "no-float-equality",
-    "no-unseeded-rng",
-    "no-wall-clock",
-    "registry-doc-drift",
+    "dead-public-api": DeadPublicApi,
+    "event-dispatch-exhaustiveness": EventDispatchExhaustiveness,
+    "event-schema-sync": EventSchemaSync,
+    "metric-doc-drift": MetricDocDrift,
+    "no-float-equality": NoFloatEquality,
+    "no-unseeded-rng": NoUnseededRng,
+    "no-wall-clock": NoWallClock,
+    "registry-doc-drift": RegistryDocDrift,
+    "scheduler-contract": SchedulerContract,
+    "unit-consistency": UnitConsistency,
 }
 
 
-def test_all_expected_rules_registered():
-    assert EXPECTED_RULES <= set(available_rules())
+def test_registry_is_exactly_the_expected_rules():
+    assert set(available_rules()) == set(EXPECTED_RULES)
+    for rid, cls in EXPECTED_RULES.items():
+        assert rule_class(rid) is cls
+        assert issubclass(cls, Rule)
+        assert issubclass(cls, (FileRule, ProjectRule))
+
+
+def test_docs_table_lists_every_rule():
+    """docs/static-analysis.md must name every registered rule —
+    the docs-side half of the registry drift gate."""
+    docs = (REPO_ROOT / "docs" / "static-analysis.md").read_text(
+        encoding="utf-8"
+    )
+    for rid in available_rules():
+        assert f"`{rid}`" in docs, (
+            f"rule {rid!r} is registered but missing from "
+            "docs/static-analysis.md"
+        )
 
 
 def test_every_rule_has_a_description():

@@ -83,3 +83,59 @@ def test_cli_write_baseline_roundtrip(tmp_path, capsys):
 def test_cli_rejects_non_repo_root(tmp_path, capsys):
     assert main(["lint", "--root", str(tmp_path)]) == 2
     assert "src/repro" in capsys.readouterr().err
+
+
+def git(cwd, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@t", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_cli_changed_scopes_reporting_to_dirty_files(tmp_path, capsys):
+    """--changed reports only findings in git-dirty files, while the
+    project graph (and the project rules) still see the whole tree."""
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    committed = pkg / "old_clock.py"
+    committed.write_text(
+        "import time\nT = time.time()\n", encoding="utf-8"
+    )
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+
+    # full lint sees the committed violation...
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    assert "old_clock" in capsys.readouterr().out
+
+    # ...but --changed with a clean tree reports nothing
+    assert main(["lint", "--root", str(tmp_path), "--changed"]) == 0
+    capsys.readouterr()
+
+    # an untracked violating file is in scope, the committed one is not
+    fresh = pkg / "new_clock.py"
+    fresh.write_text("import time\nU = time.time()\n", encoding="utf-8")
+    assert main(["lint", "--root", str(tmp_path), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "new_clock" in out
+    assert "old_clock" not in out
+
+
+def test_cli_changed_outside_git_repo_errors(tmp_path, capsys):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    assert main(["lint", "--root", str(tmp_path), "--changed"]) == 2
+    assert "git" in capsys.readouterr().err
+
+
+def test_cli_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""SARIF exporter: golden document over the bad-fixture corpus,
+minimal schema-shape validation, and line-shift-stable fingerprints."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    lint_repo,
+    render_sarif,
+    sarif_payload,
+)
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden" / "bad_fixtures.sarif"
+
+#: same corpus the CLI exit-code tests use (see test_repo_and_cli.py)
+BAD_FIXTURES = [
+    ("rng_bad.py", "src/repro/device/rng_bad.py"),
+    ("wall_clock_bad.py", "src/repro/engine/wall_clock_bad.py"),
+    ("float_eq_bad.py", "src/repro/core/float_eq_bad.py"),
+    ("events_bad.py", "src/repro/engine/events.py"),
+]
+
+
+def corpus_repo(tmp_path: Path) -> Path:
+    for fixture, dest in BAD_FIXTURES:
+        target = tmp_path / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            (FIXTURES / fixture).read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+    return tmp_path
+
+
+def test_sarif_golden(tmp_path):
+    """The rendered document matches the checked-in golden byte for
+    byte — regenerate with
+    ``python -m pytest tests/analysis/test_sarif.py --force-regen``
+    by hand (rewrite the file from the assertion message) whenever a
+    rule message or the exporter changes on purpose."""
+    report = lint_repo(corpus_repo(tmp_path), use_baseline=False)
+    rendered = render_sarif(report)
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_sarif_schema_shape(tmp_path):
+    report = lint_repo(corpus_repo(tmp_path), use_baseline=False)
+    doc = sarif_payload(report)
+
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+
+    rules = driver["rules"]
+    ids = [r["id"] for r in rules]
+    assert len(ids) == len(set(ids)), "duplicate rule metadata"
+    for meta in rules:
+        assert meta["shortDescription"]["text"]
+        assert meta["defaultConfiguration"]["level"] in (
+            "error",
+            "warning",
+        )
+
+    results = run["results"]
+    assert results, "corpus must produce findings"
+    for res in results:
+        assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+        uri = res["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert not uri.startswith("/"), "uris must be repo-relative"
+        (fp,) = res["partialFingerprints"].values()
+        assert fp.startswith(res["ruleId"] + ":")
+
+
+def violation_repo(tmp_path: Path, prefix: str = "") -> Path:
+    target = tmp_path / "src" / "repro" / "engine" / "clock.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        prefix + "import time\nT = time.time()\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_sarif_fingerprint_survives_line_shift(tmp_path):
+    a = violation_repo(tmp_path / "a")
+    b = violation_repo(tmp_path / "b", prefix="# header\n# header\n\n")
+
+    def one_result(root):
+        report = lint_repo(root, use_baseline=False)
+        (res,) = sarif_payload(report)["runs"][0]["results"]
+        return res
+
+    ra, rb = one_result(a), one_result(b)
+    line = lambda r: r["locations"][0]["physicalLocation"]["region"][
+        "startLine"
+    ]
+    assert line(ra) != line(rb)  # the violation really did move
+    assert ra["partialFingerprints"] == rb["partialFingerprints"]
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    root = violation_repo(tmp_path)
+    assert (
+        main(["lint", "--root", str(root), "--format", "sarif"]) == 1
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == SARIF_VERSION
+    (res,) = doc["runs"][0]["results"]
+    assert res["ruleId"] == "no-wall-clock"

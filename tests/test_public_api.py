@@ -1,0 +1,203 @@
+"""Contract tests over the exported (``__all__``) API surface.
+
+Every assertion here pins a public name's shape — its fields, default
+values, registry key or protocol role — so renaming or dropping an
+export breaks a test before it breaks a downstream consumer. This file
+is also the inbound-reference anchor the ``dead-public-api`` lint rule
+checks exports against: an export nobody (including this file) touches
+is flagged as dead.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import __version__
+from repro.core.cost import curves_from_profiles
+from repro.core.schedule import RoundCost
+from repro.device.registry import COLD_RATE_ANCHORS, DEVICE_NAMES
+from repro.device.thermal import ThrottleDecision
+from repro.engine.engine import (
+    ParameterServerLike,
+    SchedulerBindingLike,
+    SupportsMix,
+)
+from repro.engine.telemetry import TelemetryRead, read_jsonl_meta
+from repro.experiments.table4 import PARAM_POINTS
+from repro.models.flops import (
+    BACKWARD_FACTOR,
+    layer_forward_flops,
+    model_forward_flops,
+    model_training_flops,
+)
+from repro.models.layers import Dense
+from repro.models.optim import SGD, Optimizer
+from repro.models.zoo import (
+    CIFAR_MINI_SHAPE,
+    MNIST_MINI_SHAPE,
+    build_model,
+)
+from repro.network.link import LINK_PRESETS, WIFI, make_link
+from repro.obs.energy import ClientEnergy
+from repro.obs.recorder import RoundSummary
+from repro.profiling.profiler import DeviceProfile, TimeCurve
+from repro.sched.adapters import (
+    EqualScheduler,
+    FedLBAPScheduler,
+    FedMinAvgFastScheduler,
+    FedMinAvgScheduler,
+    ProportionalScheduler,
+    RandomScheduler,
+)
+from repro.sched.base import Scheduler
+from repro.sched.costs import (
+    DEFAULT_ENERGY_SIZES,
+    cached_energy_curves,
+    clear_cost_cache,
+)
+from repro.sched.registry import scheduler_class
+
+
+def test_version_is_pep440_ish():
+    parts = __version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_round_cost_straggler_metrics():
+    cost = RoundCost(
+        per_user_s=np.array([1.0, 3.0]),
+        makespan_s=3.0,
+        mean_s=2.0,
+        total_device_seconds=4.0,
+    )
+    assert cost.straggler_gap == 1.0
+
+
+def test_curves_from_profiles_delegates_to_time_curve():
+    class FakeProfile:
+        def time_curve(self, model):
+            return lambda n: 0.5 * n
+
+    (curve,) = curves_from_profiles([FakeProfile()], model=None)
+    assert curve(10.0) == 5.0
+
+
+def test_cold_rate_anchors_cover_the_testbed():
+    assert set(COLD_RATE_ANCHORS) <= set(DEVICE_NAMES)
+    for lenet_rate, vgg6_rate in COLD_RATE_ANCHORS.values():
+        assert 0 < lenet_rate
+        assert 0 < vgg6_rate
+
+
+def test_throttle_decision_defaults_are_no_ops():
+    decision = ThrottleDecision()
+    assert decision.freq_cap_factor == 1.0
+    assert decision.online
+    assert decision.rate_factor == 1.0
+
+
+def test_engine_protocols_describe_the_driver_contract():
+    # ParameterServerLike / SchedulerBindingLike are structural-typing
+    # contracts (not runtime-checkable); pin their method surface
+    assert "global_weights" in ParameterServerLike.__annotations__ or (
+        hasattr(ParameterServerLike, "global_weights")
+    )
+    assert hasattr(SchedulerBindingLike, "plan_round")
+
+    class Mixer:
+        name = "gossip"
+
+        def mix(self, replicas):
+            return replicas
+
+    assert isinstance(Mixer(), SupportsMix)
+
+
+def test_telemetry_read_shape(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("", encoding="utf-8")
+    read = read_jsonl_meta(path)
+    assert isinstance(read, TelemetryRead)
+
+
+def test_table4_param_points_are_the_papers_four_columns():
+    assert len(PARAM_POINTS) == 4
+    for alpha, beta in PARAM_POINTS:
+        assert alpha > 0
+        assert beta >= 0
+
+
+def test_flops_accounting_is_consistent():
+    layer = Dense(4, 3)
+    per_sample = layer_forward_flops(layer, (4,))
+    assert per_sample > 0
+    model = build_model("lenet_mini", input_shape=MNIST_MINI_SHAPE, seed=0)
+    forward = model_forward_flops(model)
+    assert model_training_flops(model) == forward * (
+        1.0 + BACKWARD_FACTOR
+    )
+
+
+def test_mini_shapes_feed_the_model_zoo():
+    assert MNIST_MINI_SHAPE == (1, 12, 12)
+    assert CIFAR_MINI_SHAPE == (3, 12, 12)
+    cifar = build_model("vgg_mini", input_shape=CIFAR_MINI_SHAPE, seed=0)
+    assert cifar.layers
+
+
+def test_optimizer_base_class_contract():
+    assert issubclass(SGD, Optimizer)
+    sgd = SGD([], lr=0.1)
+    sgd.step()  # no parameters: a no-op, not an error
+
+
+def test_wifi_preset_backs_make_link():
+    assert LINK_PRESETS["wifi"] is WIFI
+    link = make_link("wifi", jitter=0.0)
+    assert link.uplink_mbps == WIFI["uplink_mbps"]
+
+
+def test_client_energy_accumulator_defaults():
+    e = ClientEnergy(client_id=3)
+    assert (e.energy_j, e.busy_s, e.rounds, e.dropped) == (0, 0, 0, 0)
+    assert e.last_soc is None
+
+
+def test_round_summary_slots():
+    assert "makespan_s" in RoundSummary.__slots__
+    assert "energy_j" in RoundSummary.__slots__
+
+
+def test_device_profile_is_the_two_step_fit():
+    assert dataclasses.is_dataclass(DeviceProfile)
+    names = {f.name for f in dataclasses.fields(DeviceProfile)}
+    assert "device_name" in names
+    # TimeCurve is the alias time_curve() returns: samples -> seconds
+    curve: TimeCurve = lambda n_samples: 0.1 * n_samples
+    assert curve(20.0) == 2.0
+
+
+def test_registry_names_map_to_adapter_classes():
+    expected = {
+        "fed_lbap": FedLBAPScheduler,
+        "fed_minavg": FedMinAvgScheduler,
+        "fed_minavg_fast": FedMinAvgFastScheduler,
+        "equal": EqualScheduler,
+        "random": RandomScheduler,
+        "proportional": ProportionalScheduler,
+    }
+    for name, cls in expected.items():
+        assert scheduler_class(name) is cls
+        assert issubclass(cls, Scheduler)
+
+
+def test_energy_curve_cache_clears():
+    assert DEFAULT_ENERGY_SIZES == (500, 3000, 6000)
+    model = build_model("lenet_mini", input_shape=MNIST_MINI_SHAPE, seed=0)
+    sizes = (100, 200)
+    (a,) = cached_energy_curves(("mate10",), model, sizes)
+    clear_cost_cache()
+    (b,) = cached_energy_curves(("mate10",), model, sizes)
+    assert a is not b  # the cache really was dropped
+    assert a(150.0) == b(150.0)  # ...but the fit is deterministic
