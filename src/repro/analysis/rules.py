@@ -48,6 +48,16 @@ call graph) instead of a single AST:
 * ``dead-public-api`` — ``__all__``-exported symbols with no inbound
   reference anywhere in ``src``, ``tests``, ``examples`` or
   ``benchmarks`` (import/re-export lines do not count as uses).
+
+One rule guards the columnar-fleet performance contract:
+
+* ``no-python-loop-over-fleet`` — ``for`` loops and comprehensions in
+  the ``engine``/``sched`` hot paths must not iterate
+  :class:`~repro.fleet.store.FleetStore` columns (``battery_j``,
+  ``data_size``, results of ``soc()``/``run_compute()``, …) — that is
+  an O(n) Python loop over a population designed for 10⁶ devices;
+  vectorize with array operations, or annotate a deliberate legacy
+  path with ``# lint: allow[no-python-loop-over-fleet]``.
 """
 
 from __future__ import annotations
@@ -77,6 +87,7 @@ __all__ = [
     "SchedulerContract",
     "UnitConsistency",
     "DeadPublicApi",
+    "NoPythonLoopOverFleet",
 ]
 
 
@@ -197,6 +208,7 @@ _SIMULATED_TIME_PACKAGES = (
     "engine",
     "sched",
     "network",
+    "fleet",
     "obs",
     "analysis",
 )
@@ -250,6 +262,7 @@ _NUMERIC_PACKAGES = (
     "models",
     "profiling",
     "data",
+    "fleet",
     "obs",
 )
 
@@ -1180,7 +1193,15 @@ _UNIT_SUFFIXES: Dict[str, Tuple[str, str]] = {
 }
 
 #: packages where unit-suffixed names are the load-bearing convention
-_UNIT_PACKAGES = ("core", "engine", "sched", "network", "device", "obs")
+_UNIT_PACKAGES = (
+    "core",
+    "engine",
+    "sched",
+    "network",
+    "device",
+    "fleet",
+    "obs",
+)
 
 
 def _suffix_unit(name: str) -> Optional[Tuple[str, str]]:
@@ -1329,6 +1350,110 @@ class UnitConsistency(FileRule):
                 f"{param!r} of {tmod.name}.{fn.name}, which expects "
                 f"{pu[0]} ({pu[1]}); convert at the call site or "
                 "rename the parameter",
+            )
+
+
+# ---------------------------------------------------------------------------
+# no-python-loop-over-fleet
+# ---------------------------------------------------------------------------
+
+#: hot-path packages where a Python-level loop over fleet columns
+#: defeats the columnar struct-of-arrays design
+_FLEET_HOT_PACKAGES = ("engine", "sched")
+
+#: FleetStore attributes/methods that yield O(population) columns; the
+#: per-class constants (``classes`` and friends) are deliberately NOT
+#: here — looping over a handful of device classes is fine
+_FLEET_COLUMNS = frozenset(
+    {
+        "class_id",
+        "data_size",
+        "battery_j",
+        "capacity_j",
+        "alive",
+        "n",
+        "soc",
+        "eligible_mask",
+        "compute_time_s",
+        "run_compute",
+        "comm_time_s",
+        "download_time_s",
+        "upload_time_s",
+        "idle",
+        "as_devices",
+        "as_links",
+    }
+)
+
+
+def _iterates_fleet_column(iter_node: ast.AST) -> Optional[str]:
+    """The offending ``fleet.<column>`` spelling when the iterable
+    walks a fleet column, else None."""
+    for sub in ast.walk(iter_node):
+        if not isinstance(sub, ast.Attribute):
+            continue
+        if sub.attr not in _FLEET_COLUMNS:
+            continue
+        base = sub.value
+        if isinstance(base, ast.Name) and base.id == "fleet":
+            return f"fleet.{sub.attr}"
+        if isinstance(base, ast.Attribute) and base.attr == "fleet":
+            return f"fleet.{sub.attr}"
+    return None
+
+
+@rule("no-python-loop-over-fleet")
+class NoPythonLoopOverFleet(FileRule):
+    """Ban Python-level iteration over fleet columns in hot paths.
+
+    The columnar refactor exists so the engine and schedulers scale to
+    10⁶ simulated devices; a ``for`` loop (or comprehension) whose
+    iterable touches a :class:`~repro.fleet.store.FleetStore` column is
+    an O(population) interpreter loop exactly where the arrays were
+    supposed to do the work. Vectorize with NumPy index arrays instead;
+    a deliberate object-per-client legacy path may carry an inline
+    ``# lint: allow[no-python-loop-over-fleet]``.
+    """
+
+    description = (
+        "engine/sched hot paths must not for-loop over FleetStore "
+        "columns; use vectorized array operations"
+    )
+    node_types = (
+        ast.For,
+        ast.AsyncFor,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return _in_packages(module, _FLEET_HOT_PACKAGES)
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        iters: List[ast.AST]
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        else:
+            iters = [
+                gen.iter
+                for gen in node.generators  # type: ignore[attr-defined]
+            ]
+        for iter_node in iters:
+            spelled = _iterates_fleet_column(iter_node)
+            if spelled is None:
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"Python-level loop iterates the fleet column "
+                f"{spelled}: this is O(population) interpreter work in "
+                "a hot path built for 10^6 devices; replace it with a "
+                "vectorized array operation (or mark a deliberate "
+                "legacy path with an inline allow)",
             )
 
 

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``):
     python -m repro devices                    # calibrated testbed summary
     python -m repro sched list                 # registered schedulers
     python -m repro sched compare --testbed A  # scheduler comparison
+    python -m repro bench fleet --ns 100,10000 # columnar-fleet n-sweep
     python -m repro obs summary run.jsonl      # telemetry dashboard
     python -m repro obs export-prom run.jsonl  # Prometheus exposition
     python -m repro obs export-trace run.jsonl # Perfetto/Chrome trace
@@ -272,11 +273,13 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
     from .sched import available_schedulers, compare, format_table
     from .sched import is_registered, testbed_problem
 
-    try:
-        testbed = _parse_testbed(args.testbed)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    testbed = None
+    if not args.fleet_size:
+        try:
+            testbed = _parse_testbed(args.testbed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.schedulers:
         names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
         bad = [s for s in names if not is_registered(s)]
@@ -292,22 +295,63 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
 
     def run_compare() -> None:
         t0 = time.perf_counter()
-        problem = testbed_problem(
-            testbed,
-            dataset=args.dataset,
-            model=args.model,
-            shard_size=args.shard_size,
-            total_samples=args.samples,
-            with_energy=not args.no_energy,
-            makespan_cap_s=args.makespan_cap,
-            seed=args.seed,
-        )
-        devices = problem.meta["devices"]
-        print(
-            f"testbed {args.testbed}: {len(devices)} devices "
-            f"({', '.join(devices)}), {problem.total_shards} shards x "
-            f"{problem.shard_size} samples, model {args.model}"
-        )
+        if args.fleet_size:
+            import numpy as np
+
+            from .sched.costs import fleet_problem
+            from .fleet import UniformSampler, synthetic_fleet
+
+            if args.cohort <= 0:
+                raise ValueError("--cohort must be positive")
+            fleet = synthetic_fleet(
+                args.fleet_size, seed=args.seed, model=args.model
+            )
+            # schedule a cohort, never the whole population: a
+            # whole-fleet cost matrix is O(n * shards) memory, which
+            # at n = 10^6 would not fit on any host
+            k = min(args.cohort, fleet.n)
+            cohort = UniformSampler(args.seed).sample(
+                np.arange(fleet.n, dtype=np.int64), k
+            )
+            total_shards = (
+                max(1, args.samples // args.shard_size)
+                if args.samples
+                else None
+            )
+            problem = fleet_problem(
+                fleet,
+                cohort=cohort,
+                shard_size=args.shard_size,
+                total_shards=total_shards,
+                with_energy=not args.no_energy,
+                makespan_cap_s=args.makespan_cap,
+                seed=args.seed,
+            )
+            print(
+                f"synthetic fleet: {fleet.n} devices over "
+                f"{len(fleet.classes)} classes, cohort {cohort.size}, "
+                f"{problem.total_shards} shards x "
+                f"{problem.shard_size} samples, model {args.model} "
+                f"(cost matrices built in "
+                f"{problem.meta['build_ms']:.2f} ms)"
+            )
+        else:
+            problem = testbed_problem(
+                testbed,
+                dataset=args.dataset,
+                model=args.model,
+                shard_size=args.shard_size,
+                total_samples=args.samples,
+                with_energy=not args.no_energy,
+                makespan_cap_s=args.makespan_cap,
+                seed=args.seed,
+            )
+            devices = problem.meta["devices"]
+            print(
+                f"testbed {args.testbed}: {len(devices)} devices "
+                f"({', '.join(devices)}), {problem.total_shards} shards x "
+                f"{problem.shard_size} samples, model {args.model}"
+            )
         rows = compare(problem, names, bus=EventBus())
         print(format_table(rows))
         print(
@@ -332,6 +376,59 @@ def cmd_sched_compare(args: argparse.Namespace) -> int:
             f"{args.telemetry}]"
         )
     return status
+
+
+def cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from .fleet import bench_fleet, format_bench, write_bench
+    from .fleet.sampling import available_samplers
+    from .sched import available_schedulers, is_registered
+
+    try:
+        ns = [int(x) for x in args.ns.split(",") if x.strip()]
+    except ValueError:
+        print(f"error: cannot parse --ns {args.ns!r}", file=sys.stderr)
+        return 2
+    if not ns or any(n <= 0 for n in ns):
+        print("error: --ns needs positive integers", file=sys.stderr)
+        return 2
+    names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    bad = [s for s in names if not is_registered(s)]
+    if bad:
+        print(
+            f"unknown schedulers: {bad}; "
+            f"available: {', '.join(available_schedulers())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sampler not in available_samplers():
+        print(
+            f"unknown sampler {args.sampler!r}; one of "
+            f"{', '.join(available_samplers())}",
+            file=sys.stderr,
+        )
+        return 2
+    t0 = time.perf_counter()
+    try:
+        rows = bench_fleet(
+            ns=ns,
+            schedulers=names,
+            rounds=args.rounds,
+            cohort=args.cohort,
+            shard_size=args.shard_size,
+            seed=args.seed,
+            sampler=args.sampler,
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(format_bench(rows))
+    print(
+        f"[swept {len(rows)} cells in {time.perf_counter() - t0:.1f} s]"
+    )
+    if args.out:
+        write_bench(rows, Path(args.out))
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _load_recorder(args: argparse.Namespace):
@@ -611,6 +708,23 @@ def build_parser() -> argparse.ArgumentParser:
         "row)",
     )
     p_scmp.add_argument(
+        "--fleet-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compare over a synthetic columnar fleet of N devices "
+        "(repro.fleet) instead of a calibrated testbed; cost matrices "
+        "are built by the vectorized per-class path",
+    )
+    p_scmp.add_argument(
+        "--cohort",
+        type=int,
+        default=512,
+        metavar="K",
+        help="with --fleet-size, schedule a seeded uniform cohort of "
+        "K devices drawn from the fleet (default 512; capped at N)",
+    )
+    p_scmp.add_argument(
         "--seed", type=int, default=0, help="seed for random baselines"
     )
     p_scmp.add_argument(
@@ -620,6 +734,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream schedule_computed events to a JSON-lines file",
     )
     p_scmp.set_defaults(func=cmd_sched_compare)
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarks (repro.fleet)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_bfleet = bench_sub.add_parser(
+        "fleet",
+        help="sweep scheduler wall-time and cost-matrix build time "
+        "over fleet sizes (writes BENCH_fleet.json with --out)",
+    )
+    p_bfleet.add_argument(
+        "--ns",
+        default="100,1000,10000,100000,1000000",
+        help="comma-separated fleet sizes (default the 10^2..10^6 "
+        "decade sweep)",
+    )
+    p_bfleet.add_argument(
+        "--schedulers",
+        default="proportional,fed_lbap",
+        help="comma-separated registry names "
+        "(default proportional,fed_lbap)",
+    )
+    p_bfleet.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="rounds per (n, scheduler) cell (default 3)",
+    )
+    p_bfleet.add_argument(
+        "--cohort",
+        type=int,
+        default=512,
+        help="cohort size sampled per round (default 512)",
+    )
+    p_bfleet.add_argument(
+        "--shard-size", type=int, default=500, help="samples per shard"
+    )
+    p_bfleet.add_argument(
+        "--sampler",
+        default="uniform",
+        help="cohort sampler: uniform, data_size or pareto",
+    )
+    p_bfleet.add_argument(
+        "--seed", type=int, default=0, help="fleet/sampler seed"
+    )
+    p_bfleet.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON document (BENCH_fleet.json schema)",
+    )
+    p_bfleet.set_defaults(func=cmd_bench_fleet)
 
     p_obs = sub.add_parser(
         "obs",

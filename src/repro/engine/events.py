@@ -20,7 +20,10 @@ Event taxonomy (one dataclass per kind):
 * :class:`RoundCompleted` — a barrier round closed with its makespan
   and bookkeeping;
 * :class:`ScheduleComputed` — a :mod:`repro.sched` scheduler planned
-  the round's shard allocation (predicted makespan/energy included).
+  the round's shard allocation (predicted makespan/energy included);
+* :class:`CohortAccounted` — a fleet-scale round accounted its whole
+  cohort in aggregate (emitted instead of per-client events when the
+  cohort exceeds the runner's detail threshold).
 
 All events are frozen dataclasses with a stable ``kind`` string and a
 ``to_dict`` JSON-safe serialisation used by the JSON-lines sink.
@@ -39,6 +42,7 @@ __all__ = [
     "ModelAggregated",
     "RoundCompleted",
     "ScheduleComputed",
+    "CohortAccounted",
     "EventBus",
 ]
 
@@ -153,6 +157,29 @@ class ScheduleComputed(EngineEvent):
     #: host milliseconds the solver took (perf_counter-measured);
     #: deliberately *not* virtual time — solver cost is real cost
     solve_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CohortAccounted(EngineEvent):
+    """A fleet-scale round accounted its cohort in one aggregate.
+
+    Emitted by the columnar :class:`repro.fleet.runner.FleetRunner`
+    *instead of* per-client ``ClientDispatched``/``ClientFinished``
+    events once the cohort outgrows the configured detail threshold —
+    per-client streams at 10⁶ devices would dwarf the simulation
+    itself. ``energy_j`` is the summed battery energy the cohort
+    drained; ``mean_battery_soc`` the cohort's mean state of charge
+    after the round (``None`` for an empty cohort).
+    """
+
+    kind: ClassVar[str] = "cohort_accounted"
+
+    round_idx: int
+    cohort_size: int
+    eligible_count: int
+    energy_j: float
+    mean_battery_soc: Optional[float]
+    time_s: float
 
 
 Listener = Callable[[EngineEvent], None]

@@ -58,8 +58,9 @@ __all__ = [
 
 #: version of the JSONL event schema; bumped whenever an event dataclass
 #: gains/loses fields. v2 added ClientFinished.energy_j/.battery_soc
-#: and ScheduleComputed.solve_ms.
-TELEMETRY_SCHEMA_VERSION = 2
+#: and ScheduleComputed.solve_ms; v3 added the CohortAccounted event
+#: (fleet-scale aggregate accounting).
+TELEMETRY_SCHEMA_VERSION = 3
 
 
 @dataclass

@@ -25,7 +25,7 @@ API. Subscribe to ``sim.events`` for the typed event stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..data.partition import UserData
 from ..data.synthetic import Dataset
@@ -38,6 +38,10 @@ from ..models.network import Sequential
 from ..network.link import Link
 from .dropout import DropoutPolicy
 from .server import ParameterServer
+
+if TYPE_CHECKING:
+    from ..engine.engine import CohortSamplerLike
+    from ..fleet.store import FleetStore
 
 __all__ = ["SimulationConfig", "FederatedSimulation"]
 
@@ -96,6 +100,13 @@ class FederatedSimulation:
         Optional deadline-based straggler-dropout policy (the hard
         dropout of Bonawitz et al. [5]); requires ``devices`` since the
         deadline is defined over simulated round times.
+    fleet:
+        Optional columnar :class:`~repro.fleet.store.FleetStore`
+        population instead of ``devices``/``links`` — same behaviour,
+        vectorized state (see ``docs/fleet.md``).
+    cohort_sampler, cohort_size:
+        Optional per-round cohort sampling over the eligible set
+        (both or neither); see :mod:`repro.fleet.sampling`.
     """
 
     def __init__(
@@ -107,6 +118,9 @@ class FederatedSimulation:
         links: Optional[Sequence[Link]] = None,
         config: Optional[SimulationConfig] = None,
         dropout: Optional[DropoutPolicy] = None,
+        fleet: Optional["FleetStore"] = None,
+        cohort_sampler: Optional["CohortSamplerLike"] = None,
+        cohort_size: Optional[int] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         cfg = self.config
@@ -118,6 +132,9 @@ class FederatedSimulation:
             devices=devices,
             links=links,
             dropout=dropout,
+            fleet=fleet,
+            cohort_sampler=cohort_sampler,
+            cohort_size=cohort_size,
             batch_size=cfg.batch_size,
             local_epochs=cfg.local_epochs,
             lr=cfg.lr,
@@ -146,6 +163,10 @@ class FederatedSimulation:
     @property
     def links(self) -> Optional[List[Link]]:
         return self.engine.links
+
+    @property
+    def fleet(self) -> Optional["FleetStore"]:
+        return self.engine.fleet
 
     @property
     def dropout(self) -> Optional[DropoutPolicy]:

@@ -1,0 +1,570 @@
+"""The columnar fleet store: a struct-of-arrays client population.
+
+The object-per-client substrate (:class:`~repro.device.device
+.MobileDevice` + :class:`~repro.network.link.Link` per user) tops out
+around a few hundred simulated devices — every round walks Python
+objects. The ROADMAP north-star is a population of *millions*, and at
+that scale the population itself must be columnar: one NumPy array per
+attribute, vectorized operations over index arrays, and per-client
+objects only as thin views.
+
+:class:`FleetStore` is that single source of truth. Devices belong to
+a small number of :class:`DeviceClass` es (the paper's four phones by
+default); per-class constants (affine time/energy coefficients
+extracted from the calibrated simulator, link bandwidths, idle power,
+battery capacity) live in tiny per-class arrays and broadcast to the
+full population via ``class_id`` fancy indexing. Mutable per-device
+state — battery charge, data size, liveness — is one float64/int64/bool
+column each.
+
+The device model is deliberately the *affine* regime of the simulator
+(``t = a + b·samples``, the same form :func:`repro.profiling.profiler
+.bootstrap_curve` fits): scalar and vectorized evaluations perform the
+identical IEEE-754 float64 operations in the identical order, so the
+object views returned by :meth:`FleetStore.as_devices` and the
+vectorized engine path produce **bit-identical** event streams — the
+refactor changes the population representation, not behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+__all__ = [
+    "DeviceClass",
+    "FleetStore",
+    "FleetDevice",
+    "FleetLink",
+    "FleetTrace",
+    "DEFAULT_CLASS_LINKS",
+    "device_class_from_name",
+    "default_device_classes",
+    "synthetic_fleet",
+]
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """Per-class constants shared by every device of one phone model.
+
+    Time and energy are affine in trained samples (the regime the
+    profiler's linear fit captures); comm follows the
+    :class:`~repro.network.link.Link` formula
+    ``rtt/2 + mb·8/bandwidth`` per direction, jitter-free.
+    """
+
+    name: str
+    #: seconds for a zero-sample workload (fit intercept, >= 0)
+    time_base_s: float
+    #: seconds per trained sample (fit slope, >= 0)
+    time_per_sample_s: float
+    #: Joules for a zero-sample workload (fit intercept, >= 0)
+    energy_base_j: float
+    #: Joules per trained sample (fit slope, >= 0)
+    energy_per_sample_j: float
+    #: full-charge battery energy
+    capacity_j: float
+    idle_power_w: float
+    uplink_mbps: float
+    downlink_mbps: float
+    rtt_s: float
+    #: link preset label ("wifi"/"lte"/...), informational
+    link: str = "wifi"
+
+    def __post_init__(self) -> None:
+        for fname in (
+            "time_base_s",
+            "time_per_sample_s",
+            "energy_base_j",
+            "energy_per_sample_j",
+            "idle_power_w",
+            "rtt_s",
+        ):
+            if float(getattr(self, fname)) < 0:
+                raise ValueError(f"{fname} must be non-negative")
+        if self.capacity_j <= 0:
+            raise ValueError("capacity_j must be positive")
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def signature(self) -> Tuple[object, ...]:
+        """Hashable identity used in cost-matrix cache keys."""
+        return (
+            self.name,
+            self.time_base_s,
+            self.time_per_sample_s,
+            self.energy_base_j,
+            self.energy_per_sample_j,
+            self.uplink_mbps,
+            self.downlink_mbps,
+            self.rtt_s,
+        )
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """Result of one fleet workload run (mirrors ``TrainingTrace``'s
+    fields the engine reads)."""
+
+    total_time_s: float
+    energy_j: float
+
+
+class FleetStore:
+    """Struct-of-arrays population of simulated devices.
+
+    Parameters
+    ----------
+    classes:
+        The device classes; ``class_id`` indexes into this tuple.
+    class_id, data_size, battery_j, alive:
+        Per-device columns (``battery_j`` defaults to full charge,
+        ``alive`` to all-true). Columns are copied; the store owns its
+        state.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[DeviceClass],
+        class_id: np.ndarray,
+        data_size: np.ndarray,
+        battery_j: Optional[np.ndarray] = None,
+        alive: Optional[np.ndarray] = None,
+    ) -> None:
+        if not classes:
+            raise ValueError("need at least one device class")
+        self.classes: Tuple[DeviceClass, ...] = tuple(classes)
+        self.class_id = np.asarray(class_id, dtype=np.int32).copy()
+        if self.class_id.ndim != 1 or self.class_id.size == 0:
+            raise ValueError("class_id must be a non-empty 1-D array")
+        if self.class_id.min() < 0 or self.class_id.max() >= len(
+            self.classes
+        ):
+            raise ValueError("class_id out of range")
+        n = int(self.class_id.shape[0])
+        self.data_size = np.asarray(data_size, dtype=np.int64).copy()
+        if self.data_size.shape != (n,):
+            raise ValueError("data_size must align with class_id")
+        if (self.data_size < 0).any():
+            raise ValueError("data_size must be non-negative")
+
+        # per-class constant columns (tiny; broadcast via class_id)
+        self._time_base_s = np.array(
+            [c.time_base_s for c in self.classes], dtype=np.float64
+        )
+        self._time_per_sample_s = np.array(
+            [c.time_per_sample_s for c in self.classes], dtype=np.float64
+        )
+        self._energy_base_j = np.array(
+            [c.energy_base_j for c in self.classes], dtype=np.float64
+        )
+        self._energy_per_sample_j = np.array(
+            [c.energy_per_sample_j for c in self.classes],
+            dtype=np.float64,
+        )
+        self._idle_power_w = np.array(
+            [c.idle_power_w for c in self.classes], dtype=np.float64
+        )
+        self._uplink_mbps = np.array(
+            [c.uplink_mbps for c in self.classes], dtype=np.float64
+        )
+        self._downlink_mbps = np.array(
+            [c.downlink_mbps for c in self.classes], dtype=np.float64
+        )
+        self._rtt_s = np.array(
+            [c.rtt_s for c in self.classes], dtype=np.float64
+        )
+
+        #: full-charge energy per device (constant column)
+        self.capacity_j: np.ndarray = np.array(
+            [c.capacity_j for c in self.classes], dtype=np.float64
+        )[self.class_id]
+        if battery_j is None:
+            self.battery_j = self.capacity_j.copy()
+        else:
+            self.battery_j = np.asarray(
+                battery_j, dtype=np.float64
+            ).copy()
+            if self.battery_j.shape != (n,):
+                raise ValueError("battery_j must align with class_id")
+            if (self.battery_j < 0).any() or (
+                self.battery_j > self.capacity_j
+            ).any():
+                raise ValueError(
+                    "battery_j must lie in [0, class capacity]"
+                )
+        if alive is None:
+            self.alive = np.ones(n, dtype=bool)
+        else:
+            self.alive = np.asarray(alive, dtype=bool).copy()
+            if self.alive.shape != (n,):
+                raise ValueError("alive must align with class_id")
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.class_id.shape[0])
+
+    def signature(self) -> Tuple[object, ...]:
+        """Class-level identity (cost matrices depend only on this)."""
+        return tuple(c.signature() for c in self.classes)
+
+    def copy(self) -> "FleetStore":
+        """Independent deep copy of all mutable columns."""
+        return FleetStore(
+            self.classes,
+            self.class_id,
+            self.data_size,
+            battery_j=self.battery_j,
+            alive=self.alive,
+        )
+
+    # -- battery ----------------------------------------------------------
+    def soc(self, idx: Optional[np.ndarray] = None) -> np.ndarray:
+        """State of charge (0..1) for ``idx`` (whole fleet if None)."""
+        if idx is None:
+            return self.battery_j / self.capacity_j
+        return self.battery_j[idx] / self.capacity_j[idx]
+
+    def soc_one(self, j: int) -> float:
+        """Scalar state of charge of device ``j``."""
+        return float(self.battery_j[j] / self.capacity_j[j])
+
+    def eligible_mask(self, min_soc: float = 0.0) -> np.ndarray:
+        """Alive devices whose charge clears the participation floor.
+
+        Matches the engine's legacy gate: a non-positive ``min_soc``
+        disables the battery check entirely.
+        """
+        if min_soc <= 0.0:
+            return self.alive.copy()
+        return self.alive & (self.soc() >= min_soc)
+
+    # -- compute ----------------------------------------------------------
+    def compute_time_s(
+        self, idx: np.ndarray, samples: np.ndarray, epochs: int = 1
+    ) -> np.ndarray:
+        """Seconds for each device in ``idx`` to train ``samples``
+        samples for ``epochs`` epochs (pure, no state change)."""
+        cid = self.class_id[idx]
+        x = np.asarray(samples, dtype=np.float64) * np.float64(epochs)
+        return self._time_base_s[cid] + self._time_per_sample_s[cid] * x
+
+    def run_compute(
+        self, idx: np.ndarray, samples: np.ndarray, epochs: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run workloads on every device in ``idx``: returns
+        ``(seconds, joules_drained)`` arrays and drains the batteries
+        (floored at empty, like :meth:`~repro.device.battery
+        .BatteryState.drain`)."""
+        cid = self.class_id[idx]
+        x = np.asarray(samples, dtype=np.float64) * np.float64(epochs)
+        t = self._time_base_s[cid] + self._time_per_sample_s[cid] * x
+        e = (
+            self._energy_base_j[cid]
+            + self._energy_per_sample_j[cid] * x
+        )
+        drained = np.minimum(e, self.battery_j[idx])
+        self.battery_j[idx] -= drained
+        return t, drained
+
+    def run_compute_one(
+        self, j: int, samples: int, epochs: int = 1
+    ) -> Tuple[float, float]:
+        """Scalar :meth:`run_compute` for one device — the object-view
+        path. Performs the same float64 operations as the vectorized
+        path so both produce bit-identical results."""
+        c = int(self.class_id[j])
+        x = np.float64(samples) * np.float64(epochs)
+        t = self._time_base_s[c] + self._time_per_sample_s[c] * x
+        e = self._energy_base_j[c] + self._energy_per_sample_j[c] * x
+        drained = np.minimum(e, self.battery_j[j])
+        self.battery_j[j] -= drained
+        return float(t), float(drained)
+
+    # -- communication ----------------------------------------------------
+    def download_time_s(
+        self, idx: np.ndarray, wire_mb: float
+    ) -> np.ndarray:
+        """Server->device transfer seconds (Link formula, jitter-free)."""
+        cid = self.class_id[idx]
+        return (
+            self._rtt_s[cid] / 2.0
+            + np.float64(wire_mb) * 8.0 / self._downlink_mbps[cid]
+        )
+
+    def upload_time_s(
+        self, idx: np.ndarray, wire_mb: float
+    ) -> np.ndarray:
+        """Device->server transfer seconds (Link formula, jitter-free)."""
+        cid = self.class_id[idx]
+        return (
+            self._rtt_s[cid] / 2.0
+            + np.float64(wire_mb) * 8.0 / self._uplink_mbps[cid]
+        )
+
+    def comm_time_s(self, idx: np.ndarray, wire_mb: float) -> np.ndarray:
+        """One round's model pull + push seconds per device."""
+        return self.download_time_s(idx, wire_mb) + self.upload_time_s(
+            idx, wire_mb
+        )
+
+    def download_time_one(self, j: int, wire_mb: float) -> float:
+        c = int(self.class_id[j])
+        return float(
+            self._rtt_s[c] / 2.0
+            + np.float64(wire_mb) * 8.0 / self._downlink_mbps[c]
+        )
+
+    def upload_time_one(self, j: int, wire_mb: float) -> float:
+        c = int(self.class_id[j])
+        return float(
+            self._rtt_s[c] / 2.0
+            + np.float64(wire_mb) * 8.0 / self._uplink_mbps[c]
+        )
+
+    def comm_time_one(self, j: int, wire_mb: float) -> float:
+        return self.download_time_one(j, wire_mb) + self.upload_time_one(
+            j, wire_mb
+        )
+
+    # -- idle -------------------------------------------------------------
+    def idle(self, idx: np.ndarray, seconds: np.ndarray) -> None:
+        """Drain idle power for ``seconds`` per device in ``idx``."""
+        cid = self.class_id[idx]
+        need = self._idle_power_w[cid] * np.asarray(
+            seconds, dtype=np.float64
+        )
+        drained = np.minimum(need, self.battery_j[idx])
+        self.battery_j[idx] -= drained
+
+    def idle_one(self, j: int, seconds: float) -> None:
+        """Scalar :meth:`idle` (object-view path, identical math)."""
+        c = int(self.class_id[j])
+        need = self._idle_power_w[c] * np.float64(seconds)
+        drained = np.minimum(need, self.battery_j[j])
+        self.battery_j[j] -= drained
+
+    # -- object views -----------------------------------------------------
+    def as_devices(self) -> List["FleetDevice"]:
+        """Per-device views duck-typing the ``MobileDevice`` surface the
+        engine touches (``run_workload`` / ``idle`` / ``battery.soc``).
+        Views share this store's state — copy the store first to run
+        two engines independently."""
+        return [FleetDevice(self, j) for j in range(self.n)]
+
+    def as_links(self) -> List["FleetLink"]:
+        """Per-device views duck-typing :class:`~repro.network.link
+        .Link` for :func:`~repro.network.transfer.round_comm_cost`."""
+        return [FleetLink(self, j) for j in range(self.n)]
+
+
+class _FleetBattery:
+    """``device.battery``-shaped view over one store row."""
+
+    __slots__ = ("_store", "_index")
+
+    def __init__(self, store: FleetStore, index: int) -> None:
+        self._store = store
+        self._index = index
+
+    @property
+    def soc(self) -> float:
+        return self._store.soc_one(self._index)
+
+
+class FleetDevice:
+    """One device of a :class:`FleetStore`, viewed as an object.
+
+    Implements exactly the surface the :class:`~repro.engine.engine
+    .RoundEngine` uses from a :class:`~repro.device.device
+    .MobileDevice`; every operation delegates to the store's scalar
+    ops, so running a fleet through these views or through the
+    vectorized path yields bit-identical state and events.
+    """
+
+    __slots__ = ("_store", "_index", "battery")
+
+    def __init__(self, store: FleetStore, index: int) -> None:
+        self._store = store
+        self._index = index
+        self.battery = _FleetBattery(store, index)
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def spec(self) -> DeviceClass:
+        return self._store.classes[int(self._store.class_id[self._index])]
+
+    def run_workload(
+        self, workload: object, record: bool = False
+    ) -> FleetTrace:
+        n_samples = int(getattr(workload, "n_samples"))
+        epochs = int(getattr(workload, "epochs", 1))
+        t, e = self._store.run_compute_one(
+            self._index, n_samples, epochs
+        )
+        return FleetTrace(total_time_s=t, energy_j=e)
+
+    def idle(self, seconds: float) -> None:
+        self._store.idle_one(self._index, seconds)
+
+
+class FleetLink:
+    """One device's link, viewed as a jitter-free ``Link``."""
+
+    __slots__ = ("_store", "_index")
+
+    def __init__(self, store: FleetStore, index: int) -> None:
+        self._store = store
+        self._index = index
+
+    def download_time_s(self, size_mb: float) -> float:
+        return self._store.download_time_one(self._index, size_mb)
+
+    def upload_time_s(self, size_mb: float) -> float:
+        return self._store.upload_time_one(self._index, size_mb)
+
+    def round_trip_time_s(self, size_mb: float) -> float:
+        return self._store.comm_time_one(self._index, size_mb)
+
+
+# -- builders -------------------------------------------------------------
+
+#: which link preset each paper phone uses by default (the paper's
+#: testbeds mix campus WiFi and T-Mobile LTE)
+DEFAULT_CLASS_LINKS: Dict[str, str] = {
+    "mate10": "wifi",
+    "nexus6": "wifi",
+    "nexus6p": "lte",
+    "pixel2": "lte",
+}
+
+#: sizes the affine coefficients are probed at (inside the profiler's
+#: fitted range; two points identify an affine curve exactly)
+_PROBE_SIZES: Tuple[float, float] = (1000.0, 9000.0)
+
+
+def device_class_from_name(
+    name: str,
+    model: object = "lenet",
+    link: str = "wifi",
+    batch_size: int = 20,
+) -> DeviceClass:
+    """Build a :class:`DeviceClass` from a registered phone model.
+
+    Extracts the affine time/energy coefficients from the calibrated
+    simulator's cached curves (:func:`repro.sched.costs
+    .cached_time_curves` / ``cached_energy_curves``) by probing two
+    sizes, and takes battery/idle/link constants from the device spec
+    and link presets.
+    """
+    from ..device.registry import build_spec
+    from ..models.network import Sequential
+    from ..models.zoo import MNIST_SHAPE, build_model
+    from ..network.link import LINK_PRESETS
+    from ..sched.costs import cached_energy_curves, cached_time_curves
+
+    net = (
+        model
+        if isinstance(model, Sequential)
+        else build_model(str(model), input_shape=MNIST_SHAPE)
+    )
+    (time_curve,) = cached_time_curves([name], net, batch_size=batch_size)
+    (energy_curve,) = cached_energy_curves(
+        [name], net, batch_size=batch_size
+    )
+    lo, hi = _PROBE_SIZES
+    spec = build_spec(name)
+    preset = LINK_PRESETS[link]
+
+    def affine(curve: Callable[[float], float]) -> Tuple[float, float]:
+        y_lo, y_hi = curve(lo), curve(hi)
+        slope = max((float(y_hi) - float(y_lo)) / (hi - lo), 0.0)
+        base = max(float(y_lo) - slope * lo, 0.0)
+        return base, slope
+
+    time_base_s, time_per_sample_s = affine(time_curve)
+    energy_base_j, energy_per_sample_j = affine(energy_curve)
+    return DeviceClass(
+        name=name,
+        time_base_s=time_base_s,
+        time_per_sample_s=time_per_sample_s,
+        energy_base_j=energy_base_j,
+        energy_per_sample_j=energy_per_sample_j,
+        capacity_j=spec.battery.energy_j,
+        idle_power_w=spec.idle_power_w,
+        uplink_mbps=float(preset["uplink_mbps"]),
+        downlink_mbps=float(preset["downlink_mbps"]),
+        rtt_s=float(preset["rtt_s"]),
+        link=link,
+    )
+
+
+def default_device_classes(
+    model: object = "lenet",
+    batch_size: int = 20,
+    links: Optional[Mapping[str, str]] = None,
+) -> Tuple[DeviceClass, ...]:
+    """The paper's four phones as fleet classes (name-sorted)."""
+    link_of = dict(DEFAULT_CLASS_LINKS)
+    if links:
+        link_of.update(links)
+    return tuple(
+        device_class_from_name(
+            name, model=model, link=link_of[name], batch_size=batch_size
+        )
+        for name in sorted(link_of)
+    )
+
+
+def synthetic_fleet(
+    n: int,
+    seed: int = 0,
+    classes: Optional[Sequence[DeviceClass]] = None,
+    model: object = "lenet",
+    batch_size: int = 20,
+    data_size_range: Tuple[int, int] = (200, 2000),
+    soc_range: Tuple[float, float] = (0.25, 1.0),
+) -> FleetStore:
+    """Seeded random population over the given (or default) classes.
+
+    Class membership, local data size and initial charge are drawn
+    from one ``default_rng(seed)`` stream, so a given ``(n, seed,
+    classes)`` triple always yields the same fleet.
+    """
+    if n <= 0:
+        raise ValueError("fleet size must be positive")
+    lo, hi = data_size_range
+    if lo < 0 or hi < lo:
+        raise ValueError("invalid data_size_range")
+    soc_lo, soc_hi = soc_range
+    if not (0.0 <= soc_lo <= soc_hi <= 1.0):
+        raise ValueError("soc_range must lie within [0, 1]")
+    cls = (
+        tuple(classes)
+        if classes is not None
+        else default_device_classes(model=model, batch_size=batch_size)
+    )
+    rng = np.random.default_rng(seed)
+    class_id = rng.integers(0, len(cls), size=n, dtype=np.int32)
+    data_size = rng.integers(lo, hi + 1, size=n, dtype=np.int64)
+    capacity = np.array([c.capacity_j for c in cls], dtype=np.float64)[
+        class_id
+    ]
+    battery_j = capacity * rng.uniform(soc_lo, soc_hi, size=n)
+    return FleetStore(cls, class_id, data_size, battery_j=battery_j)

@@ -43,6 +43,8 @@ __all__ = [
     "SCHEDULE_SOLVES_TOTAL",
     "SCHEDULE_SOLVE_MS",
     "SCHEDULE_PREDICTED_MAKESPAN_SECONDS",
+    "COHORT_SIZE",
+    "FLEET_ELIGIBLE",
 ]
 
 # -- stream-level ------------------------------------------------------------
@@ -180,4 +182,16 @@ SCHEDULE_PREDICTED_MAKESPAN_SECONDS: MetricSpec = register_metric(
     "latest predicted makespan, by scheduler",
     labels=("scheduler",),
     unit="seconds",
+)
+
+# -- fleet-scale cohorts -----------------------------------------------------
+COHORT_SIZE: MetricSpec = register_metric(
+    "repro_cohort_size",
+    "gauge",
+    "devices accounted in the latest cohort-aggregate round",
+)
+FLEET_ELIGIBLE: MetricSpec = register_metric(
+    "repro_fleet_eligible",
+    "gauge",
+    "eligible devices when the latest cohort was drawn",
 )

@@ -8,6 +8,12 @@ the device simulator — see :mod:`repro.device.battery` /
 :mod:`repro.device.energy`) into the per-device and per-round ledgers
 the dashboard and the metric catalog surface: cumulative Joules per
 client, fleet energy per round, and the latest state of charge.
+
+At fleet scale the engine stops narrating individual clients: a
+:class:`~repro.engine.events.CohortAccounted` event carries one
+aggregate per round instead, and the ledger folds it into the same
+per-round and fleet-wide totals (per-client detail is simply absent
+above the runner's detail threshold — by design, not by omission).
 """
 
 from __future__ import annotations
@@ -37,6 +43,12 @@ class EnergyLedger:
     clients: Dict[int, ClientEnergy] = field(default_factory=dict)
     #: (round index, fleet Joules) per completed round, in stream order
     round_energy: List[Tuple[int, float]] = field(default_factory=list)
+    #: Joules accounted in cohort aggregates (no per-client breakdown)
+    cohort_energy_j: float = 0.0
+    #: (round index, cohort size) per cohort-accounted round
+    cohort_rounds: List[Tuple[int, int]] = field(default_factory=list)
+    #: latest cohort mean state of charge, if any round reported one
+    last_cohort_soc: Optional[float] = None
     _current_round_j: float = 0.0
 
     def _client(self, client_id: int) -> ClientEnergy:
@@ -65,14 +77,32 @@ class EnergyLedger:
     def on_client_dropped(self, client_id: int) -> None:
         self._client(client_id).dropped += 1
 
+    def on_cohort_accounted(
+        self,
+        round_idx: int,
+        cohort_size: int,
+        energy_j: float,
+        mean_battery_soc: Optional[float],
+    ) -> None:
+        """Fold one aggregate cohort round (columnar fleet path)."""
+        self.cohort_energy_j += energy_j
+        self._current_round_j += energy_j
+        self.cohort_rounds.append((round_idx, cohort_size))
+        if mean_battery_soc is not None:
+            self.last_cohort_soc = mean_battery_soc
+
     def on_round_completed(self, round_idx: int) -> None:
         self.round_energy.append((round_idx, self._current_round_j))
         self._current_round_j = 0.0
 
     @property
     def total_energy_j(self) -> float:
-        """Fleet-wide cumulative Joules."""
-        return sum(c.energy_j for c in self.clients.values())
+        """Fleet-wide cumulative Joules (per-client + cohort
+        aggregates)."""
+        return (
+            sum(c.energy_j for c in self.clients.values())
+            + self.cohort_energy_j
+        )
 
     def by_client(self) -> List[ClientEnergy]:
         """Client ledgers sorted by id."""

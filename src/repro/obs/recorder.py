@@ -33,6 +33,7 @@ from ..engine.events import (
     ClientDispatched,
     ClientDropped,
     ClientFinished,
+    CohortAccounted,
     EngineEvent,
     EventBus,
     ModelAggregated,
@@ -143,6 +144,8 @@ class ObsRecorder:
         self._predicted_makespan = m.gauge(
             catalog.SCHEDULE_PREDICTED_MAKESPAN_SECONDS
         )
+        self._cohort_size = m.gauge(catalog.COHORT_SIZE)
+        self._fleet_eligible = m.gauge(catalog.FLEET_ELIGIBLE)
 
         # in-flight round state
         self._round_dropped: Dict[int, int] = {}
@@ -206,6 +209,14 @@ class ObsRecorder:
                 event.predicted_makespan_s,
                 event.predicted_energy_j,
                 event.solve_ms,
+            )
+        elif isinstance(event, CohortAccounted):
+            self._on_cohort_accounted(
+                event.round_idx,
+                event.cohort_size,
+                event.eligible_count,
+                event.energy_j,
+                event.mean_battery_soc,
             )
 
     # -- shared per-kind folds ---------------------------------------------
@@ -335,6 +346,20 @@ class ObsRecorder:
                 solve_ms,
             )
 
+    def _on_cohort_accounted(
+        self,
+        round_idx: int,
+        cohort_size: int,
+        eligible_count: int,
+        energy_j: float,
+        mean_battery_soc: Optional[float],
+    ) -> None:
+        self._cohort_size.set(cohort_size)
+        self._fleet_eligible.set(eligible_count)
+        self.energy.on_cohort_accounted(
+            round_idx, cohort_size, energy_j, mean_battery_soc
+        )
+
     # -- replay path -------------------------------------------------------
     def add_dict(self, event: Mapping[str, object]) -> None:
         """Fold one JSONL event dict (offline construction path)."""
@@ -392,6 +417,14 @@ class ObsRecorder:
                 _as_float(event, "predicted_makespan_s"),
                 _opt_float(event, "predicted_energy_j"),
                 _opt_float(event, "solve_ms"),
+            )
+        elif kind == "cohort_accounted":
+            self._on_cohort_accounted(
+                _as_int(event, "round_idx"),
+                _as_int(event, "cohort_size"),
+                _as_int(event, "eligible_count"),
+                _as_float(event, "energy_j"),
+                _opt_float(event, "mean_battery_soc"),
             )
         # unknown kinds count in repro_events_total and nothing else
 

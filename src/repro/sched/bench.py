@@ -40,6 +40,8 @@ class CompareRow:
     #: instance tag for sweeps ("" for single-instance compares)
     instance: str = ""
     assignment: Optional[Assignment] = None
+    #: population size of the instance (fleet benchmarking)
+    n: Optional[int] = None
 
 
 def _accuracy_cost_of(
@@ -96,6 +98,7 @@ def compare(
                     runtime_ms=(time.perf_counter() - t0) * 1e3,
                     error=str(exc),
                     instance=instance,
+                    n=problem.n_users,
                 )
             )
             continue
@@ -125,6 +128,7 @@ def compare(
                 ),
                 runtime_ms=runtime_ms,
                 instance=instance,
+                n=problem.n_users,
             )
         )
     return rows
@@ -173,6 +177,7 @@ def format_table(rows: Sequence[CompareRow]) -> str:
     headers = [
         "instance",
         "scheduler",
+        "n",
         "makespan_s",
         "energy_j",
         "acc_cost",
@@ -184,9 +189,11 @@ def format_table(rows: Sequence[CompareRow]) -> str:
         headers = headers[1:]
 
     def fmt(row: CompareRow) -> List[str]:
+        n_cell = "-" if row.n is None else str(row.n)
         if row.error is not None:
             cells = [
                 row.scheduler,
+                n_cell,
                 f"error: {row.error}",
                 "",
                 "",
@@ -196,6 +203,7 @@ def format_table(rows: Sequence[CompareRow]) -> str:
         else:
             cells = [
                 row.scheduler,
+                n_cell,
                 f"{row.makespan_s:.2f}",
                 "-" if row.energy_j is None else f"{row.energy_j:.1f}",
                 f"{row.accuracy_cost:.1f}",

@@ -62,9 +62,21 @@ def problem_from_engine(
         build_energy_matrix,
         cached_energy_curves,
         cached_time_curves,
+        fleet_problem,
     )
     from ..core.cost import build_cost_matrix
 
+    if engine.fleet is not None:
+        # columnar path: cost matrices come straight off the fleet's
+        # class coefficients — one broadcast, no per-device profiling
+        return fleet_problem(
+            engine.fleet,
+            shard_size=shard_size,
+            with_energy=with_energy,
+            alpha=alpha,
+            beta=beta,
+            seed=seed,
+        )
     if engine.devices is None:
         raise ValueError(
             "the engine has no devices; scheduling needs a cost model"

@@ -18,7 +18,17 @@ sweeps over testbeds and data sizes stay cheap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+import time
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -31,6 +41,9 @@ from ..models.zoo import CIFAR_SHAPE, MNIST_SHAPE, build_model
 from ..profiling.profiler import bootstrap_curve
 from .base import SchedulingProblem
 
+if TYPE_CHECKING:
+    from ..fleet.store import FleetStore
+
 __all__ = [
     "DEFAULT_PROFILE_SIZES",
     "DEFAULT_ENERGY_SIZES",
@@ -39,6 +52,8 @@ __all__ = [
     "cached_energy_curves",
     "build_energy_matrix",
     "testbed_problem",
+    "fleet_class_matrices",
+    "fleet_problem",
     "clear_cost_cache",
 ]
 
@@ -59,11 +74,20 @@ _CurveKey = Tuple[object, ...]
 _TIME_CACHE: Dict[_CurveKey, Callable[[float], float]] = {}
 _ENERGY_CACHE: Dict[_CurveKey, Callable[[float], float]] = {}
 
+#: per-class cost columns, keyed on (fleet class signature, shard grid):
+#: one (n_classes, s) pair per key, broadcast to cohorts by fancy
+#: indexing — device state never enters, so entries survive any number
+#: of rounds until the shard grid or the classes themselves change
+_FLEET_MATRIX_CACHE: Dict[
+    _CurveKey, Tuple[np.ndarray, np.ndarray]
+] = {}
+
 
 def clear_cost_cache() -> None:
-    """Drop all cached curves (tests use this for isolation)."""
+    """Drop all cached curves and class matrices (test isolation)."""
     _TIME_CACHE.clear()
     _ENERGY_CACHE.clear()
+    _FLEET_MATRIX_CACHE.clear()
 
 
 def cached_time_curves(
@@ -241,5 +265,136 @@ def testbed_problem(
             "devices": tuple(names),
             "dataset": dataset,
             "model": net.name,
+        },
+    )
+
+
+def fleet_class_matrices(
+    fleet: "FleetStore", n_shards: int, shard_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-class cost columns for a columnar fleet.
+
+    Returns ``(time, energy)`` matrices of shape ``(n_classes,
+    n_shards)`` — column ``k`` is the cost of ``k+1`` shards — built in
+    one broadcast from the classes' affine coefficients and made
+    non-decreasing (Property 1). Cached on the fleet's class signature
+    and the shard grid: per-round cohort matrices are then a single
+    fancy-index over these rows, so cost-matrix generation is O(cohort)
+    per round instead of O(cohort x shards) curve calls.
+    """
+    if n_shards <= 0 or shard_size <= 0:
+        raise ValueError("n_shards and shard_size must be positive")
+    key: _CurveKey = (fleet.signature(), int(n_shards), int(shard_size))
+    cached = _FLEET_MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    samples = np.arange(1, n_shards + 1, dtype=np.float64) * float(
+        shard_size
+    )
+    time_base = np.array(
+        [c.time_base_s for c in fleet.classes], dtype=np.float64
+    )
+    time_slope = np.array(
+        [c.time_per_sample_s for c in fleet.classes], dtype=np.float64
+    )
+    energy_base = np.array(
+        [c.energy_base_j for c in fleet.classes], dtype=np.float64
+    )
+    energy_slope = np.array(
+        [c.energy_per_sample_j for c in fleet.classes], dtype=np.float64
+    )
+    time_cols = time_base[:, None] + time_slope[:, None] * samples[None, :]
+    energy_cols = (
+        energy_base[:, None] + energy_slope[:, None] * samples[None, :]
+    )
+    # affine with non-negative slopes is already monotone; the cummax
+    # keeps parity with build_cost_matrix for any future curve shapes
+    time_cols = np.maximum.accumulate(time_cols, axis=1)
+    energy_cols = np.maximum.accumulate(energy_cols, axis=1)
+    _FLEET_MATRIX_CACHE[key] = (time_cols, energy_cols)
+    return time_cols, energy_cols
+
+
+def _affine_curve(
+    base_s: float, slope_s: float
+) -> Callable[[float], float]:
+    def curve(n_samples: float) -> float:
+        return base_s + slope_s * n_samples
+
+    return curve
+
+
+def fleet_problem(
+    fleet: "FleetStore",
+    cohort: Optional[np.ndarray] = None,
+    shard_size: int = 500,
+    total_shards: Optional[int] = None,
+    with_energy: bool = True,
+    alpha: float = 100.0,
+    beta: float = 0.0,
+    makespan_cap_s: Optional[float] = None,
+    seed: int = 0,
+) -> SchedulingProblem:
+    """Build a scheduling instance over a fleet cohort in one pass.
+
+    ``cohort`` is an index array into the fleet (the whole fleet when
+    omitted). The shard budget defaults to the data the cohort holds;
+    the cost matrices are assembled by fancy-indexing the cached
+    per-class columns of :func:`fleet_class_matrices`, so generation is
+    vectorized end to end — ``meta["build_ms"]`` records the measured
+    host cost. Proportional weights fall out of the class slopes
+    (samples/second), and raw affine curves ride along for curve-based
+    schedulers.
+    """
+    idx = (
+        np.arange(fleet.n, dtype=np.int64)
+        if cohort is None
+        else np.asarray(cohort, dtype=np.int64)
+    )
+    if idx.ndim != 1 or idx.size == 0:
+        raise ValueError("cohort must be a non-empty 1-D index array")
+    if total_shards is None:
+        total_shards = max(
+            1, int(fleet.data_size[idx].sum()) // shard_size
+        )
+    if total_shards <= 0:
+        raise ValueError("total_shards must be positive")
+    # perf_counter (monotonic): matrix-build cost is host cost, like
+    # the solver runtime the binding records
+    t0 = time.perf_counter()
+    time_cols, energy_cols = fleet_class_matrices(
+        fleet, total_shards, shard_size
+    )
+    cid = fleet.class_id[idx]
+    time_cost = time_cols[cid]
+    energy_cost = energy_cols[cid] if with_energy else None
+    build_ms = (time.perf_counter() - t0) * 1e3
+    slopes = np.array(
+        [c.time_per_sample_s for c in fleet.classes], dtype=np.float64
+    )[cid]
+    weights = 1.0 / np.maximum(slopes, 1e-12)
+    curves = [
+        _affine_curve(
+            fleet.classes[c].time_base_s,
+            fleet.classes[c].time_per_sample_s,
+        )
+        for c in cid.tolist()
+    ]
+    return SchedulingProblem(
+        time_cost=time_cost,
+        total_shards=int(total_shards),
+        shard_size=shard_size,
+        energy_cost=energy_cost,
+        alpha=alpha,
+        beta=beta,
+        time_curves=curves,
+        weights=weights,
+        makespan_cap_s=makespan_cap_s,
+        rng=seed,
+        meta={
+            "fleet_n": fleet.n,
+            "cohort_size": int(idx.size),
+            "build_ms": build_ms,
+            "classes": tuple(c.name for c in fleet.classes),
         },
     )

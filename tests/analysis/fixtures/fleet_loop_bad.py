@@ -1,0 +1,12 @@
+"""Bad: Python-level loops over FleetStore columns in a hot path."""
+
+
+def drain(runner, fleet):
+    total = 0.0
+    for s in fleet.soc():
+        total += s
+    sizes = [int(d) for d in fleet.data_size]
+    for dev in runner.fleet.as_devices():
+        dev.idle(1.0)
+    socs = {j: s for j, s in enumerate(fleet.battery_j)}
+    return total, sizes, socs

@@ -1,0 +1,12 @@
+"""Good: vectorized fleet access; per-class loops stay legal."""
+
+import numpy as np
+
+
+def drain(fleet, idx):
+    total = float(fleet.soc(idx).sum())
+    bases = [c.time_base_s for c in fleet.classes]
+    legacy = [d for d in fleet.as_devices()]  # lint: allow[no-python-loop-over-fleet]
+    for _ in range(3):
+        total += float(np.sum(fleet.data_size[idx]))
+    return total, bases, legacy

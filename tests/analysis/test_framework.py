@@ -21,6 +21,7 @@ from repro.analysis.rules import (
     EventSchemaSync,
     MetricDocDrift,
     NoFloatEquality,
+    NoPythonLoopOverFleet,
     NoUnseededRng,
     NoWallClock,
     RegistryDocDrift,
@@ -39,6 +40,7 @@ EXPECTED_RULES = {
     "event-schema-sync": EventSchemaSync,
     "metric-doc-drift": MetricDocDrift,
     "no-float-equality": NoFloatEquality,
+    "no-python-loop-over-fleet": NoPythonLoopOverFleet,
     "no-unseeded-rng": NoUnseededRng,
     "no-wall-clock": NoWallClock,
     "registry-doc-drift": RegistryDocDrift,

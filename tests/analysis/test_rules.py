@@ -70,6 +70,18 @@ CASES = [
         "event-schema-sync",
         [],
     ),
+    (
+        "fleet_loop_bad.py",
+        "src/repro/engine/fleet_loop_bad.py",
+        "no-python-loop-over-fleet",
+        [6, 8, 9, 11],
+    ),
+    (
+        "fleet_loop_good.py",
+        "src/repro/sched/fleet_loop_good.py",
+        "no-python-loop-over-fleet",
+        [],
+    ),
 ]
 
 
@@ -104,6 +116,20 @@ def test_wall_clock_scope_excludes_device_package():
         )
         == []
     )
+
+
+def test_fleet_loop_scope_is_engine_and_sched_only():
+    # the store itself may loop (it builds the per-class arrays), and
+    # so may anything outside the two hot-path packages
+    source = (FIXTURES / "fleet_loop_bad.py").read_text(encoding="utf-8")
+    for module in (
+        "src/repro/fleet/store.py",
+        "src/repro/obs/recorder.py",
+    ):
+        assert (
+            lint_source(source, module, ["no-python-loop-over-fleet"])
+            == []
+        )
 
 
 def test_import_aliases_are_resolved():

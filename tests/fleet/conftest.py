@@ -1,0 +1,56 @@
+"""Shared fixtures for the columnar-fleet tests.
+
+Hand-built device classes (no profiler probing) keep the unit tests
+fast and the arithmetic easy to check by hand; the builder tests cover
+the calibrated-path (`device_class_from_name`) separately.
+"""
+
+import pytest
+
+from repro.fleet import DeviceClass, synthetic_fleet
+
+
+def toy_classes():
+    """Two classes with round-number affine coefficients."""
+    return (
+        DeviceClass(
+            name="fast",
+            time_base_s=1.0,
+            time_per_sample_s=0.001,
+            energy_base_j=2.0,
+            energy_per_sample_j=0.004,
+            capacity_j=10_000.0,
+            idle_power_w=0.5,
+            uplink_mbps=10.0,
+            downlink_mbps=40.0,
+            rtt_s=0.05,
+            link="wifi",
+        ),
+        DeviceClass(
+            name="slow",
+            time_base_s=2.0,
+            time_per_sample_s=0.004,
+            energy_base_j=3.0,
+            energy_per_sample_j=0.010,
+            capacity_j=8_000.0,
+            idle_power_w=0.8,
+            uplink_mbps=2.0,
+            downlink_mbps=8.0,
+            rtt_s=0.1,
+            link="lte",
+        ),
+    )
+
+
+def toy_fleet(n=16, seed=0, **kwargs):
+    return synthetic_fleet(n, seed=seed, classes=toy_classes(), **kwargs)
+
+
+@pytest.fixture
+def classes():
+    return toy_classes()
+
+
+@pytest.fixture
+def fleet():
+    return toy_fleet()

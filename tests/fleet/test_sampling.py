@@ -1,0 +1,133 @@
+"""Cohort samplers: determinism, eligibility, bias, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    DataSizeBiasedSampler,
+    ParetoSampler,
+    UniformSampler,
+    available_samplers,
+    make_sampler,
+)
+
+
+def eligible_set(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sort(
+        rng.choice(np.arange(10 * n), size=n, replace=False)
+    ).astype(np.int64)
+
+
+SAMPLER_FACTORIES = [
+    lambda seed: UniformSampler(seed),
+    lambda seed: DataSizeBiasedSampler(seed),
+    lambda seed: ParetoSampler(seed),
+    lambda seed: make_sampler("uniform", seed=seed),
+]
+
+
+@pytest.mark.parametrize("factory", SAMPLER_FACTORIES)
+def test_same_seed_same_cohort(factory):
+    eligible = eligible_set()
+    sizes = np.arange(1, eligible.size + 1, dtype=np.int64)
+    a = factory(3).sample(eligible, 10, data_size=sizes)
+    b = factory(3).sample(eligible, 10, data_size=sizes)
+    assert np.array_equal(a, b)
+    c = factory(4).sample(eligible, 10, data_size=sizes)
+    assert not np.array_equal(a, c)
+
+
+@pytest.mark.parametrize("factory", SAMPLER_FACTORIES)
+def test_cohort_is_sorted_subset_of_eligible(factory):
+    eligible = eligible_set(seed=5)
+    sizes = np.full(eligible.size, 10, dtype=np.int64)
+    cohort = factory(0).sample(eligible, 17, data_size=sizes)
+    assert cohort.size == 17
+    assert np.array_equal(cohort, np.sort(cohort))
+    assert np.isin(cohort, eligible).all()
+    assert np.unique(cohort).size == cohort.size
+
+
+def test_small_eligible_set_passes_through_without_randomness():
+    eligible = np.array([9, 3, 5], dtype=np.int64)
+    s = UniformSampler(seed=0)
+    assert np.array_equal(s.sample(eligible, 3), [3, 5, 9])
+    assert np.array_equal(s.sample(eligible, 10), [3, 5, 9])
+    # the pass-through consumed no randomness: the next real draw
+    # matches a fresh sampler's first draw
+    big = eligible_set(seed=2)
+    fresh = UniformSampler(seed=0)
+    assert np.array_equal(s.sample(big, 5), fresh.sample(big, 5))
+
+
+def test_data_size_bias_prefers_data_rich_devices():
+    eligible = np.arange(50, dtype=np.int64)
+    sizes = np.ones(50, dtype=np.int64)
+    sizes[7] = 1_000_000  # one data giant
+    hits = sum(
+        7 in DataSizeBiasedSampler(seed).sample(eligible, 5, sizes)
+        for seed in range(40)
+    )
+    assert hits >= 38  # essentially always selected
+
+
+def test_pareto_default_alpha():
+    s = ParetoSampler()
+    assert s.bias == pytest.approx(1.16)
+
+
+def test_validation_errors():
+    eligible = np.arange(10, dtype=np.int64)
+    with pytest.raises(ValueError, match="positive"):
+        UniformSampler().sample(eligible, 0)
+    with pytest.raises(ValueError, match="align"):
+        UniformSampler().sample(eligible, 3, data_size=np.arange(4))
+    with pytest.raises(ValueError, match="data sizes"):
+        DataSizeBiasedSampler().sample(eligible, 3)
+    with pytest.raises(ValueError, match="1-D"):
+        UniformSampler().sample(eligible.reshape(2, 5), 3)
+    with pytest.raises(ValueError, match="bias"):
+        DataSizeBiasedSampler(bias=0.0)
+    class BrokenWeights(UniformSampler):
+        def weights(self, eligible, data_size):
+            return np.zeros(eligible.size)
+
+    with pytest.raises(ValueError, match="positive and finite"):
+        BrokenWeights().sample(eligible, 3)
+
+
+def test_registry():
+    assert available_samplers() == ["data_size", "pareto", "uniform"]
+    assert isinstance(make_sampler("pareto", seed=1), ParetoSampler)
+    assert isinstance(
+        make_sampler("data_size", seed=1, bias=2.0),
+        DataSizeBiasedSampler,
+    )
+    with pytest.raises(KeyError, match="unknown cohort sampler"):
+        make_sampler("bogus")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 200),
+    k=st.integers(1, 64),
+    name=st.sampled_from(["uniform", "data_size", "pareto"]),
+)
+def test_property_seed_determinism_and_eligibility(seed, n, k, name):
+    """ISSUE acceptance: samplers are seed-deterministic and only ever
+    return eligible devices."""
+    rng = np.random.default_rng(seed)
+    eligible = np.flatnonzero(rng.random(n) < 0.7).astype(np.int64)
+    if eligible.size == 0:
+        return
+    sizes = rng.integers(1, 1000, size=eligible.size).astype(np.int64)
+    a = make_sampler(name, seed=seed).sample(eligible, k, data_size=sizes)
+    b = make_sampler(name, seed=seed).sample(eligible, k, data_size=sizes)
+    assert np.array_equal(a, b)
+    assert a.size == min(k, eligible.size)
+    assert np.isin(a, eligible).all()
+    assert np.array_equal(a, np.sort(a))

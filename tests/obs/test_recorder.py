@@ -6,7 +6,7 @@ import pytest
 from repro.data.partition import iid_partition
 from repro.data.synthetic import SyntheticConfig, make_dataset
 from repro.device.registry import make_device
-from repro.engine.telemetry import JsonlSink
+from repro.engine.telemetry import TELEMETRY_SCHEMA_VERSION, JsonlSink
 from repro.federated.simulation import FederatedSimulation, SimulationConfig
 from repro.models import logistic
 from repro.obs import ObsRecorder, observe_engine
@@ -122,7 +122,7 @@ class TestLiveVsReplay:
         sink.close()
 
         replayed = ObsRecorder.from_jsonl(path)
-        assert replayed.schema_version == 2
+        assert replayed.schema_version == TELEMETRY_SCHEMA_VERSION
         assert replayed.corrupt_lines == 0
         assert render_prometheus(replayed.metrics) == render_prometheus(
             live.metrics

@@ -94,7 +94,7 @@ class TestFormatTable:
     def test_single_instance_layout(self, problem):
         text = format_table(compare(problem, ["olar", "equal"]))
         lines = text.splitlines()
-        assert lines[0].split()[:2] == ["scheduler", "makespan_s"]
+        assert lines[0].split()[:3] == ["scheduler", "n", "makespan_s"]
         assert "instance" not in lines[0]
         assert any(line.startswith("olar") for line in lines)
 

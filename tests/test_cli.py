@@ -403,3 +403,102 @@ class TestObsCommands:
         assert "== run ==" in out
         assert "rounds: 2" in out
         assert list(tmp_path.iterdir()) == []  # no file side effects
+
+
+class TestFleetCommands:
+    def test_sched_compare_fleet_size(self, capsys):
+        """`--fleet-size` swaps the testbed for a synthetic columnar
+        fleet and reports the vectorized matrix-build time."""
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--fleet-size", "200",
+                    "--schedulers", "proportional,equal",
+                    "--samples", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synthetic fleet: 200 devices" in out
+        assert "cost matrices built in" in out
+        assert "proportional" in out and "equal" in out
+        # the n column reports the instance's cohort size
+        assert "  200  " in out or " 200 " in out
+
+    def test_sched_compare_fleet_size_draws_cohort(self, capsys):
+        """A large fleet is never scheduled whole: the instance is a
+        seeded uniform cohort (``--cohort``, default 512), so the cost
+        matrix stays O(cohort x shards) regardless of population."""
+        assert (
+            main(
+                [
+                    "sched", "compare",
+                    "--fleet-size", "5000",
+                    "--cohort", "32",
+                    "--schedulers", "proportional",
+                    "--samples", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synthetic fleet: 5000 devices" in out
+        assert "cohort 32" in out
+        assert "  32  " in out or " 32 " in out
+
+    def test_bench_fleet_smoke(self, tmp_path, capsys):
+        """The CI smoke: one small n, JSON out with sha + timings."""
+        import json
+
+        out_path = tmp_path / "BENCH_fleet.json"
+        assert (
+            main(
+                [
+                    "bench", "fleet",
+                    "--ns", "64,128",
+                    "--rounds", "2",
+                    "--cohort", "16",
+                    "--schedulers", "proportional",
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rounds/s" in out
+        assert "swept 2 cells" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == 1
+        assert doc["git_sha"]
+        assert [r["n"] for r in doc["results"]] == [64, 128]
+        for row in doc["results"]:
+            assert row["scheduler"] == "proportional"
+            assert row["build_ms"] >= 0
+            assert row["solve_ms"] >= 0
+            assert row["rounds_per_sec"] > 0
+
+    def test_bench_fleet_rejects_bad_ns(self, capsys):
+        assert main(["bench", "fleet", "--ns", "ten"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+        assert main(["bench", "fleet", "--ns", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_bench_fleet_rejects_unknown_scheduler(self, capsys):
+        assert (
+            main(
+                ["bench", "fleet", "--ns", "8", "--schedulers", "sjf"]
+            )
+            == 2
+        )
+        assert "unknown schedulers" in capsys.readouterr().err
+
+    def test_bench_fleet_rejects_unknown_sampler(self, capsys):
+        assert (
+            main(
+                ["bench", "fleet", "--ns", "8", "--sampler", "magic"]
+            )
+            == 2
+        )
+        assert "unknown sampler" in capsys.readouterr().err
