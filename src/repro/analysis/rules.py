@@ -202,7 +202,9 @@ _WALL_CLOCK_CALLS = frozenset(
 )
 
 #: packages whose notion of time is the simulated clock (or, for the
-#: deterministic tooling domains obs/analysis, no host clock at all)
+#: deterministic tooling domains obs/analysis, no host clock at all).
+#: ``serve`` is in scope too: the control plane may read the wall clock
+#: *only* through its sanctioned seam (see below), never directly.
 _SIMULATED_TIME_PACKAGES = (
     "core",
     "engine",
@@ -211,6 +213,21 @@ _SIMULATED_TIME_PACKAGES = (
     "fleet",
     "obs",
     "analysis",
+    "serve",
+)
+
+#: the one module allowed to read the host clock: the control plane's
+#: injectable seam (everything else in repro.serve takes a ``now_fn``)
+_WALL_CLOCK_SEAM = "src/repro/serve/clock.py"
+
+#: spellings of the seam call; banned *outside* repro.serve so the
+#: engine/scheduler/obs stack stays on virtual time even indirectly
+_SEAM_CALLS = frozenset(
+    {
+        "repro.serve.clock.now",
+        "serve.clock.now",
+        "clock.now",
+    }
 )
 
 
@@ -218,15 +235,21 @@ _SIMULATED_TIME_PACKAGES = (
 class NoWallClock(FileRule):
     """Ban host wall-clock reads where time must be simulated (or, in
     the CLI, monotonic: ``time.perf_counter`` is the one allowed
-    duration clock)."""
+    duration clock). ``repro.serve`` is the single sanctioned
+    consumer of wall time, and only via ``repro.serve.clock.now`` —
+    the seam module itself is the one file exempt here; calling the
+    seam from the simulation packages is flagged just like
+    ``time.time`` would be."""
 
     description = (
-        "simulation packages use virtual time; durations use "
-        "time.perf_counter"
+        "simulation packages use virtual time; only "
+        "repro.serve.clock may touch the host clock"
     )
     node_types = (ast.Call,)
 
     def applies_to(self, module: str) -> bool:
+        if module == _WALL_CLOCK_SEAM:
+            return False
         return (
             _in_packages(module, _SIMULATED_TIME_PACKAGES)
             or module == "src/repro/cli.py"
@@ -243,8 +266,20 @@ class NoWallClock(FileRule):
                 node,
                 f"wall-clock read {dotted}() is not monotonic and "
                 "couples results to the host; simulated code must use "
-                "the engine clock, and CLI duration measurements must "
-                "use time.perf_counter()",
+                "the engine clock, repro.serve must go through the "
+                "repro.serve.clock.now seam, and CLI duration "
+                "measurements must use time.perf_counter()",
+            )
+        elif dotted in _SEAM_CALLS and not ctx.module.startswith(
+            "src/repro/serve/"
+        ):
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{dotted}() reads the host clock through the "
+                "repro.serve seam; only the control plane may consume "
+                "wall time — simulation packages stay on the virtual "
+                "engine clock",
             )
 
 

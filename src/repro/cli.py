@@ -600,6 +600,187 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_serve(args) -> int:
+    """Run the control-plane orchestrator (or its simulated smoke)."""
+    import asyncio
+
+    from .serve.app import ServeApp, ServeConfig
+    from .serve.httpd import ServeHttpServer
+
+    config = ServeConfig(
+        fleet_size=args.fleet_size,
+        scheduler=args.scheduler,
+        shard_size=args.shard_size,
+        cohort_size=args.cohort,
+        min_soc=args.min_soc,
+        stale_after_s=args.stale_after,
+        dead_after_s=args.dead_after,
+        monitor_interval_s=args.monitor_interval,
+        seed=args.seed,
+    )
+    if args.simulate:
+        return asyncio.run(_serve_smoke(config, args))
+
+    async def _serve() -> int:
+        app = ServeApp(config)
+        server = ServeHttpServer(app, host=args.host, port=args.port)
+        port = await server.start()
+        print(
+            f"orchestrator on http://{args.host}:{port} "
+            f"(fleet capacity {config.fleet_size}, "
+            f"scheduler {config.scheduler}; ctrl-c to stop)"
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("orchestrator stopped")
+        return 0
+
+
+async def _serve_smoke(config, args) -> int:
+    """Deterministic traffic against a real ephemeral-port server.
+
+    Boots the HTTP server, replays a seeded churn trace over loopback
+    HTTP, runs the requested rounds with one injected mid-round device
+    loss, scrapes ``/metrics``, and asserts: every round completed, no
+    computed schedule ever named a dead device, and the loss forced at
+    least one re-plan. This is the CI serve smoke.
+    """
+    from .obs import catalog as obs_catalog
+    from .serve.app import ServeApp
+    from .serve.clock import ManualClock
+    from .serve.httpd import ServeHttpServer, http_request
+    from .serve.simclients import SimClientDriver, churn_trace
+
+    clock = ManualClock()
+    app = ServeApp(config, now_fn=clock)
+    # the real wall-clock monitor would race the manual clock; the
+    # driver sweeps the registry on the simulated cadence instead.
+    # Always an ephemeral port: the smoke must not collide in CI.
+    server = ServeHttpServer(
+        app, host="127.0.0.1", port=0, monitor=False
+    )
+    port = await server.start()
+
+    async def transport(method, path, body):
+        return await http_request("127.0.0.1", port, method, path, body)
+
+    horizon_s = args.sim_horizon
+    trace = churn_trace(
+        args.simulate,
+        horizon_s=horizon_s,
+        seed=config.seed,
+        heartbeat_every_s=max(config.stale_after_s / 3.0, 0.5),
+    )
+    driver = SimClientDriver(app, clock, trace, transport=transport)
+    join_end_s = max(e.at_s for e in trace if e.action == "join")
+    await driver.run_until(join_end_s)
+
+    injected = {"device": None}
+
+    def inject_loss(phase: str, job) -> None:
+        # churn one scheduled device away while round >= 2 is planning
+        if (
+            phase != "planned"
+            or job.round_id < 2
+            or injected["device"] is not None
+        ):
+            return
+        plan = app.coordinator.plan_log[-1]
+        for record in app.registry.records.values():
+            if (
+                record.client_id in plan.scheduled
+                and record.state != "dead"
+            ):
+                app.registry.deregister(record.device_id)
+                injected["device"] = record.device_id
+                return
+
+    app.coordinator.churn_hook = inject_loss
+
+    gap_s = (horizon_s - join_end_s) / max(args.rounds, 1)
+    for _ in range(args.rounds):
+        status, payload = await transport("POST", "/v1/rounds", {})
+        if status != 202:
+            print(f"FAIL: round submit -> {status} {payload}")
+            await server.stop()
+            return 1
+        await server.round_tasks_done()
+        # keep heartbeats (and silent deaths) flowing between rounds
+        await driver.run_until(driver.clock() + gap_s)
+
+    failures: List[str] = []
+    jobs = [app.jobs[i] for i in sorted(app.jobs)]
+    incomplete = [j.round_id for j in jobs if j.status != "completed"]
+    if incomplete:
+        failures.append(f"rounds not completed: {incomplete}")
+    dead_assigned = sum(
+        p.dead_scheduled for p in app.coordinator.plan_log
+    )
+    if dead_assigned:
+        failures.append(
+            f"{dead_assigned} dead device(s) appeared in schedules"
+        )
+    replans = sum(j.replans for j in jobs)
+    if injected["device"] is not None and replans == 0:
+        failures.append(
+            "injected device loss did not force a re-plan"
+        )
+    status, metrics_text = await transport("GET", "/metrics", None)
+    serve_metrics = [
+        obs_catalog.SERVE_DEVICES.name,
+        obs_catalog.SERVE_HEARTBEAT_LAG_SECONDS.name,
+        obs_catalog.SERVE_REPLANS_TOTAL.name,
+        obs_catalog.SERVE_ROUNDS_IN_FLIGHT.name,
+        obs_catalog.SERVE_REQUESTS_TOTAL.name,
+    ]
+    missing = [
+        name
+        for name in serve_metrics
+        if not isinstance(metrics_text, str)
+        or name not in metrics_text
+    ]
+    if missing:
+        failures.append(f"/metrics missing instruments: {missing}")
+    if args.metrics_out and isinstance(metrics_text, str):
+        Path(args.metrics_out).write_text(
+            metrics_text, encoding="utf-8"
+        )
+    await server.stop()
+
+    counts = app.registry.counts()
+    print(
+        f"serve smoke: {args.simulate} devices over {horizon_s:.0f}s "
+        f"sim (port {port}): "
+        + ", ".join(f"{k}={v}" for k, v in counts.items())
+    )
+    for job in jobs:
+        record = job.record or {}
+        print(
+            f"  round {job.round_id}: {job.status}, "
+            f"participants={record.get('participant_count')}, "
+            f"dropped={record.get('dropped_count')}, "
+            f"replans={job.replans}, "
+            f"model_version={job.model_version}"
+        )
+    print(
+        f"  injected loss: {injected['device'] or 'none'}; "
+        f"re-plans: {replans}; dead-device assignments: {dead_assigned}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -907,6 +1088,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--samples", type=int, default=3000, help="samples per epoch"
     )
     p_tr.set_defaults(func=cmd_trace)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the FL control-plane orchestrator (HTTP)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=8774,
+        help="TCP port (0 = ephemeral; default 8774)",
+    )
+    p_srv.add_argument(
+        "--scheduler",
+        default="proportional",
+        help="scheduler policy for training rounds",
+    )
+    p_srv.add_argument(
+        "--fleet-size",
+        type=int,
+        default=256,
+        help="registry capacity / synthetic fleet size",
+    )
+    p_srv.add_argument(
+        "--shard-size", type=int, default=100, help="samples per shard"
+    )
+    p_srv.add_argument(
+        "--cohort",
+        type=int,
+        default=None,
+        help="cohort size per round (default: all eligible)",
+    )
+    p_srv.add_argument(
+        "--min-soc",
+        type=float,
+        default=0.0,
+        help="battery floor for scheduling eligibility",
+    )
+    p_srv.add_argument(
+        "--stale-after",
+        type=float,
+        default=15.0,
+        help="seconds of heartbeat silence before stale",
+    )
+    p_srv.add_argument(
+        "--dead-after",
+        type=float,
+        default=45.0,
+        help="seconds of heartbeat silence before dead",
+    )
+    p_srv.add_argument(
+        "--monitor-interval",
+        type=float,
+        default=1.0,
+        help="heartbeat monitor sweep cadence (seconds)",
+    )
+    p_srv.add_argument(
+        "--seed", type=int, default=0, help="fleet/churn seed"
+    )
+    p_srv.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="smoke mode: drive N simulated devices over HTTP "
+        "on an ephemeral port, then exit nonzero on failure",
+    )
+    p_srv.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="rounds to run in --simulate mode",
+    )
+    p_srv.add_argument(
+        "--sim-horizon",
+        type=float,
+        default=120.0,
+        help="simulated-clock horizon for the churn trace (s)",
+    )
+    p_srv.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the final /metrics scrape to this file",
+    )
+    p_srv.set_defaults(func=cmd_serve)
     return parser
 
 

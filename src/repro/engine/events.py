@@ -23,7 +23,13 @@ Event taxonomy (one dataclass per kind):
   the round's shard allocation (predicted makespan/energy included);
 * :class:`CohortAccounted` — a fleet-scale round accounted its whole
   cohort in aggregate (emitted instead of per-client events when the
-  cohort exceeds the runner's detail threshold).
+  cohort exceeds the runner's detail threshold);
+* :class:`DeviceJoined` / :class:`DeviceLost` — control-plane
+  membership: a device registered with (or timed out / deregistered
+  from) the :mod:`repro.serve` device registry. These are *not* tied to
+  a round — churn happens between and during rounds alike, and the
+  observability layer records them as run-level instants rather than
+  children of whichever round happens to be open.
 
 All events are frozen dataclasses with a stable ``kind`` string and a
 ``to_dict`` JSON-safe serialisation used by the JSON-lines sink.
@@ -43,6 +49,8 @@ __all__ = [
     "RoundCompleted",
     "ScheduleComputed",
     "CohortAccounted",
+    "DeviceJoined",
+    "DeviceLost",
     "EventBus",
 ]
 
@@ -179,6 +187,42 @@ class CohortAccounted(EngineEvent):
     eligible_count: int
     energy_j: float
     mean_battery_soc: Optional[float]
+    time_s: float
+
+
+@dataclass(frozen=True)
+class DeviceJoined(EngineEvent):
+    """A device registered with the control-plane device registry.
+
+    ``client_id`` is the fleet row the registry claimed for the device;
+    ``device_id`` the caller-chosen stable identity. ``time_s`` is the
+    *service* clock (seconds since the orchestrator started) — the only
+    event family stamped from :func:`repro.serve.clock.now` rather than
+    the engine's virtual clock, because membership is an external fact
+    the simulation does not control.
+    """
+
+    kind: ClassVar[str] = "device_joined"
+
+    device_id: str
+    client_id: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class DeviceLost(EngineEvent):
+    """A registered device left the population.
+
+    ``reason`` is ``"timeout"`` (missed heartbeats past the dead
+    threshold) or ``"deregistered"`` (explicit leave). Same service
+    clock convention as :class:`DeviceJoined`.
+    """
+
+    kind: ClassVar[str] = "device_lost"
+
+    device_id: str
+    client_id: int
+    reason: str
     time_s: float
 
 

@@ -38,6 +38,8 @@ from .events import (
     ClientDispatched,
     ClientDropped,
     ClientFinished,
+    DeviceJoined,
+    DeviceLost,
     EngineEvent,
     EventBus,
     ModelAggregated,
@@ -59,8 +61,10 @@ __all__ = [
 #: version of the JSONL event schema; bumped whenever an event dataclass
 #: gains/loses fields. v2 added ClientFinished.energy_j/.battery_soc
 #: and ScheduleComputed.solve_ms; v3 added the CohortAccounted event
-#: (fleet-scale aggregate accounting).
-TELEMETRY_SCHEMA_VERSION = 3
+#: (fleet-scale aggregate accounting); v4 added the DeviceJoined /
+#: DeviceLost membership events (control-plane churn, service-clock
+#: stamped).
+TELEMETRY_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -262,6 +266,11 @@ class TelemetryAggregator:
     yields a row (``dropped: True`` with ``compute_s``/``comm_s`` of
     ``None``).
 
+    Membership events (``device_joined``/``device_lost``) are *not*
+    round-scoped: a device registering between round N and N+1 must not
+    surface as a client row of either round, so they accumulate in the
+    separate ``membership`` list instead of ``_pending_clients``.
+
     ``rounds`` accumulates them; ``events`` keeps the raw stream;
     ``counts()`` tallies events by kind.
     """
@@ -269,11 +278,14 @@ class TelemetryAggregator:
     def __init__(self) -> None:
         self.events: List[EngineEvent] = []
         self.rounds: List[Dict[str, object]] = []
+        self.membership: List[Dict[str, object]] = []
         self._pending_clients: List[Dict[str, object]] = []
 
     def __call__(self, event: EngineEvent) -> None:
         self.events.append(event)
-        if isinstance(event, ClientFinished):
+        if isinstance(event, (DeviceJoined, DeviceLost)):
+            self.membership.append(event.to_dict())
+        elif isinstance(event, ClientFinished):
             self._pending_clients.append(
                 {
                     "client": event.client_id,

@@ -45,6 +45,11 @@ __all__ = [
     "SCHEDULE_PREDICTED_MAKESPAN_SECONDS",
     "COHORT_SIZE",
     "FLEET_ELIGIBLE",
+    "SERVE_DEVICES",
+    "SERVE_HEARTBEAT_LAG_SECONDS",
+    "SERVE_REPLANS_TOTAL",
+    "SERVE_ROUNDS_IN_FLIGHT",
+    "SERVE_REQUESTS_TOTAL",
 ]
 
 # -- stream-level ------------------------------------------------------------
@@ -194,4 +199,37 @@ FLEET_ELIGIBLE: MetricSpec = register_metric(
     "repro_fleet_eligible",
     "gauge",
     "eligible devices when the latest cohort was drawn",
+)
+
+# -- control plane (repro.serve) ---------------------------------------------
+# Unlike everything above, these are fed by the orchestrator's service
+# clock (the sanctioned repro.serve.clock seam), not the virtual clock.
+SERVE_DEVICES: MetricSpec = register_metric(
+    "repro_serve_devices",
+    "gauge",
+    "registered devices by lifecycle state",
+    labels=("state",),
+)
+SERVE_HEARTBEAT_LAG_SECONDS: MetricSpec = register_metric(
+    "repro_serve_heartbeat_lag_seconds",
+    "histogram",
+    "seconds since the previous heartbeat, observed per heartbeat",
+    unit="seconds",
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+SERVE_REPLANS_TOTAL: MetricSpec = register_metric(
+    "repro_serve_replans_total",
+    "counter",
+    "mid-round schedule re-plans forced by membership churn",
+)
+SERVE_ROUNDS_IN_FLIGHT: MetricSpec = register_metric(
+    "repro_serve_rounds_in_flight",
+    "gauge",
+    "orchestrator rounds currently executing",
+)
+SERVE_REQUESTS_TOTAL: MetricSpec = register_metric(
+    "repro_serve_requests_total",
+    "counter",
+    "control-plane API requests, by route and status code",
+    labels=("route", "code"),
 )

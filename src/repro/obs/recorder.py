@@ -34,6 +34,8 @@ from ..engine.events import (
     ClientDropped,
     ClientFinished,
     CohortAccounted,
+    DeviceJoined,
+    DeviceLost,
     EngineEvent,
     EventBus,
     ModelAggregated,
@@ -150,6 +152,9 @@ class ObsRecorder:
         # in-flight round state
         self._round_dropped: Dict[int, int] = {}
         self._round_straggler: Dict[int, tuple[int, float]] = {}
+        #: control-plane membership tallies (serve runs only)
+        self.device_joins = 0
+        self.device_losses = 0
 
     # -- live path ---------------------------------------------------------
     def __call__(self, event: EngineEvent) -> None:
@@ -217,6 +222,18 @@ class ObsRecorder:
                 event.eligible_count,
                 event.energy_j,
                 event.mean_battery_soc,
+            )
+        elif isinstance(event, DeviceJoined):
+            self._on_membership(
+                event.kind, event.device_id, event.client_id, event.time_s
+            )
+        elif isinstance(event, DeviceLost):
+            self._on_membership(
+                event.kind,
+                event.device_id,
+                event.client_id,
+                event.time_s,
+                event.reason,
             )
 
     # -- shared per-kind folds ---------------------------------------------
@@ -360,6 +377,23 @@ class ObsRecorder:
             round_idx, cohort_size, energy_j, mean_battery_soc
         )
 
+    def _on_membership(
+        self,
+        kind: str,
+        device_id: str,
+        client_id: int,
+        time_s: float,
+        reason: Optional[str] = None,
+    ) -> None:
+        if kind == "device_joined":
+            self.device_joins += 1
+        else:
+            self.device_losses += 1
+        if self.spans is not None:
+            self.spans.on_membership(
+                kind, device_id, client_id, time_s, reason
+            )
+
     # -- replay path -------------------------------------------------------
     def add_dict(self, event: Mapping[str, object]) -> None:
         """Fold one JSONL event dict (offline construction path)."""
@@ -425,6 +459,15 @@ class ObsRecorder:
                 _as_int(event, "eligible_count"),
                 _as_float(event, "energy_j"),
                 _opt_float(event, "mean_battery_soc"),
+            )
+        elif kind == "device_joined" or kind == "device_lost":
+            reason = event.get("reason")
+            self._on_membership(
+                kind,
+                str(event.get("device_id", "?")),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                reason if isinstance(reason, str) else None,
             )
         # unknown kinds count in repro_events_total and nothing else
 

@@ -30,8 +30,8 @@ class Span:
     """One named interval on the virtual clock.
 
     ``category`` is one of ``run`` / ``round`` / ``client`` /
-    ``sched`` / ``aggregate``; instant happenings are zero-duration
-    spans (``start_s == end_s``).
+    ``sched`` / ``aggregate`` / ``membership``; instant happenings are
+    zero-duration spans (``start_s == end_s``).
     """
 
     name: str
@@ -246,6 +246,39 @@ class SpanBuilder:
             )
         )
 
+    def on_membership(
+        self,
+        kind: str,
+        device_id: str,
+        client_id: int,
+        time_s: float,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Record a membership instant (``device_joined``/``device_lost``).
+
+        Membership is **run-level**: churn often arrives *between*
+        rounds, and attaching such an event to whichever round span is
+        still open would misattribute it to a round the device never
+        participated in — so these instants hang directly off the run
+        span, never off a round.
+        """
+        run = self._touch(time_s)
+        attrs: Dict[str, object] = {
+            "device_id": device_id,
+            "client": client_id,
+        }
+        if reason is not None:
+            attrs["reason"] = reason
+        run.children.append(
+            Span(
+                name=f"{kind} [{device_id}]",
+                category="membership",
+                start_s=time_s,
+                end_s=time_s,
+                attrs=attrs,
+            )
+        )
+
     # -- replay path -------------------------------------------------------
     def add(self, event: Mapping[str, object]) -> None:
         """Fold one JSONL event dict (the replay construction path)."""
@@ -300,6 +333,15 @@ class SpanBuilder:
                 _as_float(event, "predicted_makespan_s"),
                 _opt_float(event, "predicted_energy_j"),
                 _opt_float(event, "solve_ms"),
+            )
+        elif kind in ("device_joined", "device_lost"):
+            reason = event.get("reason")
+            self.on_membership(
+                str(kind),
+                str(event.get("device_id", "?")),
+                _as_int(event, "client_id"),
+                _as_float(event, "time_s"),
+                reason if isinstance(reason, str) else None,
             )
         # unknown kinds (telemetry_meta, future events) are ignored
 

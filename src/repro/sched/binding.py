@@ -37,7 +37,11 @@ from .registry import get_scheduler
 if TYPE_CHECKING:  # avoid the runtime sched <-> engine import cycle
     from ..engine.engine import RoundEngine
 
-__all__ = ["EngineSchedulerBinding", "problem_from_engine"]
+__all__ = [
+    "EngineSchedulerBinding",
+    "problem_from_engine",
+    "restrict_problem",
+]
 
 SchedulerLike = Union[str, Scheduler, Callable[[int], Union[str, Scheduler]]]
 
@@ -123,6 +127,32 @@ def problem_from_engine(
     )
 
 
+def restrict_problem(
+    problem: SchedulingProblem, eligible: Sequence[int]
+) -> SchedulingProblem:
+    """Restrict an instance to the eligible users by zeroing capacity.
+
+    The shared re-plan entry point: both the engine binding (per-round
+    ``min_soc`` gating) and the :mod:`repro.serve` coordinator (devices
+    lost mid-round) funnel through here, so "ineligible means zero
+    capacity, and an instance that cannot absorb the budget is
+    infeasible" stays one rule.
+
+    Raises ``RuntimeError`` when the eligible users cannot absorb the
+    shard budget.
+    """
+    caps = problem.effective_capacities().copy()
+    mask = np.zeros(problem.n_users, dtype=bool)
+    mask[list(eligible)] = True
+    caps[~mask] = 0
+    if int(caps.sum()) < problem.total_shards:
+        raise RuntimeError(
+            "infeasible round: eligible users cannot absorb the "
+            f"shard budget ({int(caps.sum())} < {problem.total_shards})"
+        )
+    return replace(problem, capacities=caps)
+
+
 class EngineSchedulerBinding:
     """Per-round planner the engine consults when bound.
 
@@ -184,16 +214,7 @@ class EngineSchedulerBinding:
                 "scheduling problem covers "
                 f"{problem.n_users} users, engine has {len(engine.users)}"
             )
-        caps = problem.effective_capacities().copy()
-        mask = np.zeros(problem.n_users, dtype=bool)
-        mask[list(eligible)] = True
-        caps[~mask] = 0
-        if int(caps.sum()) < problem.total_shards:
-            raise RuntimeError(
-                "infeasible round: eligible users cannot absorb the "
-                f"shard budget ({int(caps.sum())} < {problem.total_shards})"
-            )
-        instance = replace(problem, capacities=caps)
+        instance = restrict_problem(problem, eligible)
         scheduler = self._resolve(round_idx)
         # perf_counter (monotonic): solver runtime is host cost, not
         # virtual time; it rides along in meta so the engine's

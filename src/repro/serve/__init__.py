@@ -1,0 +1,48 @@
+"""Control-plane orchestrator: the engine as a long-running service.
+
+:mod:`repro.serve` turns the event-driven simulation into an
+asyncio-based federated-learning service: battery-powered devices
+register and heartbeat over HTTP, a training coordinator drives
+scheduler-planned rounds over whoever is *currently* alive, a model
+registry versions every aggregate, and the whole thing narrates on the
+same :class:`~repro.engine.events.EventBus` the engine uses — so
+``repro.obs`` metrics, spans and telemetry keep working unchanged.
+
+Everything is stdlib asyncio (no web framework); the deterministic
+in-process driver in :mod:`repro.serve.simclients` exercises the full
+service — churn included — without sockets or real sleeps.
+"""
+
+from .app import ServeApp, ServeConfig
+from .clock import ManualClock, NowFn, now
+from .coordinator import PlanRecord, RoundJob, TrainingCoordinator
+from .modelreg import ModelRegistry, ModelVersion
+from .registry import (
+    DEVICE_STATES,
+    DeviceRecord,
+    DeviceRegistry,
+    HeartbeatMonitor,
+)
+from .schemas import SchemaError
+from .simclients import ChurnEvent, SimClientDriver, churn_trace
+
+__all__ = [
+    "ServeApp",
+    "ServeConfig",
+    "ManualClock",
+    "NowFn",
+    "now",
+    "PlanRecord",
+    "RoundJob",
+    "TrainingCoordinator",
+    "ModelRegistry",
+    "ModelVersion",
+    "DEVICE_STATES",
+    "DeviceRecord",
+    "DeviceRegistry",
+    "HeartbeatMonitor",
+    "SchemaError",
+    "ChurnEvent",
+    "SimClientDriver",
+    "churn_trace",
+]

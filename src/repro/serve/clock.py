@@ -1,0 +1,64 @@
+"""The sanctioned real-clock seam of the control plane.
+
+The simulation packages run on a *virtual* clock — the ``no-wall-clock``
+lint rule bans ``time.time`` (and friends) across ``repro.core`` /
+``engine`` / ``sched`` / ``network`` / ``fleet`` / ``obs`` /
+``analysis`` so no simulated duration can silently depend on host
+timing. A long-running orchestrator, however, must observe real time:
+heartbeat staleness is a wall-clock fact.
+
+This module is the *only* place in the repository allowed to read the
+wall clock (the lint rule carves out exactly this file), and
+:func:`now` is the only spelling the rest of :mod:`repro.serve` may
+use. Outside ``repro.serve`` even ``clock.now`` is flagged — the
+engine stays virtual.
+
+Components never call :func:`now` directly in their logic; they take a
+``now_fn: NowFn`` (defaulting to :func:`now`) so tests and the
+simulated-device driver substitute a :class:`ManualClock` and the whole
+service runs deterministically with no real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["NowFn", "ManualClock", "now"]
+
+#: a zero-argument callable returning "the current time" in seconds
+NowFn = Callable[[], float]
+
+
+def now() -> float:
+    """Seconds since the Unix epoch, from the host wall clock."""
+    return time.time()
+
+
+class ManualClock:
+    """A hand-cranked :data:`NowFn` for deterministic serve tests.
+
+    Starts at ``start_s`` and only moves when :meth:`advance` (or
+    :meth:`set`) is called — a churn trace replayed against it produces
+    the same stale/dead transitions on every run, on any machine.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    def __call__(self) -> float:
+        return self._now_s
+
+    def advance(self, delta_s: float) -> float:
+        """Move the clock forward; rejects negative steps."""
+        if delta_s < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._now_s += float(delta_s)
+        return self._now_s
+
+    def set(self, now_s: float) -> float:
+        """Jump to an absolute time at or after the current one."""
+        if now_s < self._now_s:
+            raise ValueError("a clock cannot run backwards")
+        self._now_s = float(now_s)
+        return self._now_s

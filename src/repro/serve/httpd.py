@@ -1,0 +1,245 @@
+"""Minimal HTTP/1.1 transport over asyncio streams.
+
+No web framework — :class:`ServeHttpServer` is a codec around
+:meth:`repro.serve.app.ServeApp.handle_request`: parse request line +
+headers + ``Content-Length`` body, hand the JSON dict to the app,
+write the JSON (or ``/metrics`` text) response back, one request per
+connection. :func:`http_request` is the matching client, used by the
+socket smoke tests and the CLI's simulated-traffic mode so the whole
+loop — client and server — runs on one asyncio event loop with no
+threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .app import ServeApp, parse_json_body
+from .coordinator import RoundJob
+from .registry import HeartbeatMonitor
+from .schemas import SchemaError
+
+__all__ = ["ServeHttpServer", "http_request"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: request bodies past this are rejected outright
+MAX_BODY_BYTES = 1 << 20
+
+
+def _encode_response(
+    status: int, payload: Union[Dict[str, object], str]
+) -> bytes:
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        ctype = "application/json"
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request; ``None`` on a closed/garbled connection."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = (
+            line.decode("ascii").strip().split(" ", 2)
+        )
+    except (UnicodeDecodeError, ValueError):
+        return None
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    if length > MAX_BODY_BYTES:
+        raise SchemaError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    # strip any query string: routes don't take parameters (yet)
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+class ServeHttpServer:
+    """One :class:`ServeApp` behind an ephemeral-friendly TCP port."""
+
+    def __init__(
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        monitor: bool = True,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._monitor: Optional[HeartbeatMonitor] = (
+            HeartbeatMonitor(
+                app.registry,
+                interval_s=app.config.monitor_interval_s,
+            )
+            if monitor
+            else None
+        )
+        self._round_tasks: List["asyncio.Task[RoundJob]"] = []
+
+    async def start(self) -> int:
+        """Bind and listen; returns the (possibly ephemeral) port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+        if self._monitor is not None:
+            self._monitor.start()
+        return self.port
+
+    async def stop(self) -> None:
+        if self._monitor is not None:
+            await self._monitor.stop()
+        for task in self._round_tasks:
+            if not task.done():
+                task.cancel()
+        for task in self._round_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._round_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def round_tasks_done(self) -> None:
+        """Await every round task spawned so far (smoke/test helper)."""
+        for task in list(self._round_tasks):
+            if not task.done():
+                await task
+
+    def _spawn_pending_rounds(self) -> None:
+        for job in self.app.take_pending_jobs():
+            self._round_tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self.app.run_job(job)
+                )
+            )
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                method, path, raw = request
+                body = parse_json_body(raw)
+            except SchemaError as exc:
+                writer.write(
+                    _encode_response(400, {"error": str(exc)})
+                )
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            status, payload = self.app.handle_request(
+                method, path, body
+            )
+            # a 202 means a round was enqueued: run it on the loop
+            self._spawn_pending_rounds()
+            writer.write(_encode_response(status, payload))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Mapping[str, object]] = None,
+) -> Tuple[int, Union[Dict[str, object], str]]:
+    """One client request; returns ``(status, decoded payload)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        raw = b"" if body is None else json.dumps(dict(body)).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(raw)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + raw)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.decode("ascii").split(" ", 2)[1])
+        ctype = "application/json"
+        length = None
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            key = name.strip().lower()
+            if key == "content-type":
+                ctype = value.strip()
+            elif key == "content-length":
+                length = int(value.strip())
+        payload = (
+            await reader.readexactly(length)
+            if length is not None
+            else await reader.read()
+        )
+        if ctype.startswith("application/json"):
+            return status, json.loads(payload.decode("utf-8"))
+        return status, payload.decode("utf-8")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,87 @@
+"""Model version registry: monotonic ids, parent links, round metadata.
+
+Every completed round commits exactly one new version whose parent is
+the version it trained from, so the registry is a linked history of the
+global model: ``GET /v1/models/latest`` answers "what should a joining
+device download", and the per-version metadata (round id, scheduler,
+participants, makespan, energy) answers "where did this model come
+from" — the provenance question every aggregation audit starts with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .clock import NowFn, now as wall_now
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable entry in the model lineage."""
+
+    version: int
+    parent: Optional[int]
+    created_s: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "parent": self.parent,
+            "created_s": self.created_s,
+            "metadata": dict(self.metadata),
+        }
+
+
+class ModelRegistry:
+    """Monotonic model lineage; starts at version 0 (the initial model)."""
+
+    def __init__(self, now_fn: Optional[NowFn] = None) -> None:
+        self.now_fn: NowFn = now_fn if now_fn is not None else wall_now
+        genesis = ModelVersion(
+            version=0,
+            parent=None,
+            created_s=self.now_fn(),
+            metadata={"genesis": True},
+        )
+        self._versions: List[ModelVersion] = [genesis]
+        self._by_id: Dict[int, ModelVersion] = {0: genesis}
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def latest(self) -> ModelVersion:
+        return self._versions[-1]
+
+    def get(self, version: int) -> Optional[ModelVersion]:
+        return self._by_id.get(version)
+
+    def history(self) -> List[ModelVersion]:
+        return list(self._versions)
+
+    def commit(self, **metadata: object) -> ModelVersion:
+        """Append a new version parented on the current latest."""
+        parent = self.latest()
+        entry = ModelVersion(
+            version=parent.version + 1,
+            parent=parent.version,
+            created_s=self.now_fn(),
+            metadata=dict(metadata),
+        )
+        self._versions.append(entry)
+        self._by_id[entry.version] = entry
+        return entry
+
+    def lineage(self, version: int) -> List[int]:
+        """Parent chain from ``version`` back to genesis (inclusive)."""
+        entry = self._by_id.get(version)
+        if entry is None:
+            raise KeyError(f"unknown model version {version}")
+        chain = [entry.version]
+        while entry is not None and entry.parent is not None:
+            entry = self._by_id[entry.parent]
+            chain.append(entry.version)
+        return chain

@@ -1,0 +1,222 @@
+"""Deterministic simulated devices for the orchestrator.
+
+:func:`churn_trace` turns ``(n, horizon, seed)`` into a *pure data*
+churn process — a time-ordered list of :class:`ChurnEvent` (joins,
+heartbeats, explicit leaves, and silent disappearances that the
+heartbeat monitor must catch). :class:`SimClientDriver` replays such a
+trace against a :class:`~repro.serve.app.ServeApp` on a
+:class:`~repro.serve.clock.ManualClock`, interleaving monitor sweeps at
+a fixed cadence — so every stale/dead transition, membership event and
+re-plan the service produces is a deterministic function of the seed.
+No sockets, no real sleeps: the same trace can also be replayed over
+HTTP by passing a transport (the CLI's ``--simulate`` smoke mode does
+exactly that against its own ephemeral-port server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from .app import Response, ServeApp
+from .clock import ManualClock
+
+__all__ = ["ChurnEvent", "churn_trace", "SimClientDriver"]
+
+#: ``(method, path, body)`` → response, possibly over a real transport
+Transport = Callable[
+    [str, str, Optional[Dict[str, object]]], Awaitable[Response]
+]
+
+ACTIONS = ("join", "heartbeat", "leave")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timed client action. A device that goes *silent* simply has
+    no further events — its death is the monitor's job to notice."""
+
+    at_s: float
+    action: str
+    device_id: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown churn action {self.action!r}")
+
+
+def churn_trace(
+    n_devices: int,
+    horizon_s: float,
+    seed: int = 0,
+    heartbeat_every_s: float = 5.0,
+    join_window_s: Optional[float] = None,
+    leave_frac: float = 0.15,
+    silence_frac: float = 0.15,
+) -> List[ChurnEvent]:
+    """Seeded churn process over ``n_devices`` and ``horizon_s`` seconds.
+
+    Devices join uniformly over ``join_window_s`` (first quarter of the
+    horizon by default), then heartbeat every ``heartbeat_every_s``
+    with ±20% jitter. ``leave_frac`` of them deregister explicitly at a
+    random time; ``silence_frac`` just stop heartbeating (the stale →
+    dead path). All randomness comes from one ``default_rng(seed)``.
+    """
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    if horizon_s <= 0 or heartbeat_every_s <= 0:
+        raise ValueError("horizon and heartbeat cadence must be positive")
+    if not 0 <= leave_frac + silence_frac <= 1:
+        raise ValueError("leave_frac + silence_frac must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    window_s = (
+        horizon_s / 4 if join_window_s is None else join_window_s
+    )
+    joins = rng.uniform(0.0, max(window_s, 1e-9), size=n_devices)
+    # fate: 0 = stays, 1 = leaves explicitly, 2 = goes silent
+    fates = rng.choice(
+        3,
+        size=n_devices,
+        p=(1.0 - leave_frac - silence_frac, leave_frac, silence_frac),
+    )
+    departures = rng.uniform(0.5, 1.0, size=n_devices) * horizon_s
+    events: List[ChurnEvent] = []
+    for i in range(n_devices):
+        device_id = f"sim-{i:04d}"
+        t_join = float(joins[i])
+        end_s = (
+            float(departures[i]) if fates[i] != 0 else float(horizon_s)
+        )
+        events.append(ChurnEvent(t_join, "join", device_id))
+        t = t_join
+        while True:
+            jitter = float(
+                rng.uniform(0.8, 1.2) * heartbeat_every_s
+            )
+            t += jitter
+            if t >= end_s or t >= horizon_s:
+                break
+            events.append(ChurnEvent(t, "heartbeat", device_id))
+        if fates[i] == 1 and end_s < horizon_s:
+            events.append(ChurnEvent(end_s, "leave", device_id))
+    events.sort(key=lambda e: (e.at_s, e.device_id, e.action))
+    return events
+
+
+class SimClientDriver:
+    """Replay a churn trace against the app, deterministically.
+
+    The driver owns the service clock: before delivering an event it
+    advances the :class:`ManualClock` to the event time, inserting
+    monitor sweeps (``registry.check``) every ``sweep_every_s`` of
+    simulated time — exactly what the real
+    :class:`~repro.serve.registry.HeartbeatMonitor` task does on the
+    wall clock.
+    """
+
+    def __init__(
+        self,
+        app: ServeApp,
+        clock: ManualClock,
+        trace: Sequence[ChurnEvent],
+        sweep_every_s: float = 1.0,
+        transport: Optional[Transport] = None,
+        data_size: int = 600,
+        battery_soc: float = 1.0,
+    ) -> None:
+        if sweep_every_s <= 0:
+            raise ValueError("sweep_every_s must be positive")
+        self.app = app
+        self.clock = clock
+        self.trace = sorted(
+            trace, key=lambda e: (e.at_s, e.device_id, e.action)
+        )
+        self.sweep_every_s = sweep_every_s
+        self.transport = transport
+        self.data_size = data_size
+        self.battery_soc = battery_soc
+        self._cursor = 0
+        self._next_sweep_s = clock() + sweep_every_s
+        #: every (event, status) delivered, for assertions
+        self.log: List[Tuple[ChurnEvent, int]] = []
+
+    async def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+    ) -> Response:
+        if self.transport is not None:
+            return await self.transport(method, path, body)
+        return self.app.handle_request(method, path, body)
+
+    def _advance_to(self, at_s: float) -> None:
+        """Step the clock to ``at_s``, sweeping the monitor on cadence."""
+        while self._next_sweep_s <= at_s:
+            self.clock.set(self._next_sweep_s)
+            self.app.registry.check()
+            self._next_sweep_s += self.sweep_every_s
+        if at_s > self.clock():
+            self.clock.set(at_s)
+
+    async def deliver(self, event: ChurnEvent) -> int:
+        """Advance time to one event and deliver it; returns status."""
+        self._advance_to(event.at_s)
+        if event.action == "join":
+            status, _ = await self._call(
+                "POST",
+                "/v1/devices/register",
+                {
+                    "device_id": event.device_id,
+                    "data_size": self.data_size,
+                    "battery_soc": self.battery_soc,
+                },
+            )
+        elif event.action == "heartbeat":
+            status, _ = await self._call(
+                "POST",
+                f"/v1/devices/{event.device_id}/heartbeat",
+                None,
+            )
+        else:
+            status, _ = await self._call(
+                "DELETE", f"/v1/devices/{event.device_id}", None
+            )
+        self.log.append((event, status))
+        return status
+
+    async def run_until(self, t_s: float) -> int:
+        """Deliver every event at or before ``t_s``; returns how many."""
+        delivered = 0
+        while (
+            self._cursor < len(self.trace)
+            and self.trace[self._cursor].at_s <= t_s
+        ):
+            await self.deliver(self.trace[self._cursor])
+            self._cursor += 1
+            delivered += 1
+        self._advance_to(t_s)
+        return delivered
+
+    async def run(self) -> int:
+        """Deliver the whole trace."""
+        if not self.trace:
+            return 0
+        return await self.run_until(self.trace[-1].at_s)
+
+    def statuses(self) -> Dict[str, List[int]]:
+        """Delivered statuses grouped by action, for assertions."""
+        grouped: Dict[str, List[int]] = {a: [] for a in ACTIONS}
+        for event, status in self.log:
+            grouped[event.action].append(status)
+        return grouped

@@ -1,0 +1,10 @@
+"""Bad fixture: simulation code consuming the serve wall-clock seam."""
+
+from repro.serve import clock
+from repro.serve.clock import now
+
+
+def stamp():
+    t0 = clock.now()
+    t1 = now()
+    return t0, t1

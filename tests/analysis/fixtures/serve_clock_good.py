@@ -1,0 +1,8 @@
+"""Good fixture: control-plane code on the injected clock seam."""
+
+from repro.serve.clock import now
+
+
+def stamp(now_fn=now):
+    # inside repro.serve the seam is the sanctioned clock
+    return now_fn() - now()

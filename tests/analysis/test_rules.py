@@ -47,6 +47,18 @@ CASES = [
         [],
     ),
     (
+        "serve_clock_bad.py",
+        "src/repro/engine/serve_clock_bad.py",
+        "no-wall-clock",
+        [8, 9],
+    ),
+    (
+        "serve_clock_good.py",
+        "src/repro/serve/serve_clock_good.py",
+        "no-wall-clock",
+        [],
+    ),
+    (
         "float_eq_bad.py",
         "src/repro/core/float_eq_bad.py",
         "no-float-equality",
@@ -116,6 +128,30 @@ def test_wall_clock_scope_excludes_device_package():
         )
         == []
     )
+
+
+def test_serve_clock_seam_scope():
+    # repro.serve is in wall-clock scope: a direct time.time() in the
+    # http layer is flagged like anywhere else in the stack...
+    source = (FIXTURES / "wall_clock_bad.py").read_text(encoding="utf-8")
+    findings = lint_source(
+        source, "src/repro/serve/httpd_bad.py", ["no-wall-clock"]
+    )
+    assert [f.line for f in findings] == [8, 9]
+    # ...except in the seam module itself, the one sanctioned reader
+    assert (
+        lint_source(
+            source, "src/repro/serve/clock.py", ["no-wall-clock"]
+        )
+        == []
+    )
+    # and the seam's message names the seam, not perf_counter
+    seam = run_fixture(
+        "serve_clock_bad.py",
+        "src/repro/engine/serve_clock_bad.py",
+        "no-wall-clock",
+    )
+    assert all("repro.serve" in f.message for f in seam)
 
 
 def test_fleet_loop_scope_is_engine_and_sched_only():

@@ -279,3 +279,97 @@ class TestRecordTelemetryLifecycle:
         outer_counts = outer.counts()
         assert inner_counts["round_completed"] == 1
         assert outer_counts == inner_counts
+
+
+class TestMembershipAttribution:
+    """Regression: churn between rounds must not leak into round rows.
+
+    A ``DeviceJoined``/``DeviceLost`` landing after round N completes
+    used to sit in ``_pending_clients`` purgatory and would have been
+    swept into round N+1's ``clients`` — membership now accumulates in
+    the separate ``membership`` list and never becomes a client row.
+    """
+
+    def _round(self, agg, round_idx, clients):
+        from repro.engine.events import ClientFinished
+
+        for c in clients:
+            agg(
+                ClientFinished(
+                    round_idx=round_idx,
+                    client_id=c,
+                    compute_s=1.0,
+                    comm_s=0.5,
+                    total_s=1.5,
+                    time_s=1.5,
+                )
+            )
+        agg(
+            RoundCompleted(
+                round_idx=round_idx,
+                makespan_s=1.5,
+                mean_time_s=1.5,
+                participant_count=len(clients),
+                accuracy=None,
+                time_s=2.0,
+            )
+        )
+
+    def test_out_of_round_event_is_not_a_client_row(self):
+        from repro.engine.events import DeviceJoined, DeviceLost
+
+        agg = TelemetryAggregator()
+        self._round(agg, 1, [0, 1])
+        # between rounds: one join, one timeout loss
+        agg(DeviceJoined(device_id="d9", client_id=9, time_s=100.0))
+        agg(
+            DeviceLost(
+                device_id="d0", client_id=0,
+                reason="timeout", time_s=101.0,
+            )
+        )
+        self._round(agg, 2, [1, 9])
+        # neither round's client rows mention the churned identities
+        # as membership rows — client 9's *training* row in round 2 is
+        # legitimate, the join instant itself is not a row anywhere
+        assert [r["round"] for r in agg.rounds] == [1, 2]
+        assert [c["client"] for c in agg.rounds[0]["clients"]] == [0, 1]
+        assert [c["client"] for c in agg.rounds[1]["clients"]] == [1, 9]
+        assert all(
+            set(c) >= {"client", "compute_s", "dropped"}
+            for r in agg.rounds
+            for c in r["clients"]
+        )
+        # the churn is preserved, structured, in its own stream
+        assert [m["event"] for m in agg.membership] == [
+            "device_joined",
+            "device_lost",
+        ]
+        assert agg.membership[1]["reason"] == "timeout"
+        assert agg.counts()["device_joined"] == 1
+        assert agg.counts()["device_lost"] == 1
+
+    def test_membership_events_survive_the_jsonl_round_trip(
+        self, tmp_path
+    ):
+        from repro.engine.events import DeviceLost
+
+        path = tmp_path / "churn.jsonl"
+        sink = JsonlSink(str(path))
+        sink(
+            DeviceLost(
+                device_id="d3", client_id=3,
+                reason="deregistered", time_s=7.0,
+            )
+        )
+        sink.close()
+        events = read_jsonl(path)
+        assert events == [
+            {
+                "event": "device_lost",
+                "device_id": "d3",
+                "client_id": 3,
+                "reason": "deregistered",
+                "time_s": 7.0,
+            }
+        ]

@@ -172,3 +172,48 @@ class TestFromJsonlRobustness:
         rec = ObsRecorder.from_jsonl(synthetic_jsonl)
         (run,) = rec.finish_spans()
         assert run.name == "synthetic"
+
+
+class TestMembershipFold:
+    """Membership events tally and span, on both fold paths."""
+
+    def test_live_fold_counts_joins_and_losses(self):
+        from repro.engine.events import DeviceJoined, DeviceLost
+
+        rec = ObsRecorder(run_name="serve")
+        rec(DeviceJoined(device_id="a", client_id=0, time_s=1.0))
+        rec(DeviceJoined(device_id="b", client_id=1, time_s=2.0))
+        rec(
+            DeviceLost(
+                device_id="a", client_id=0,
+                reason="timeout", time_s=9.0,
+            )
+        )
+        assert rec.device_joins == 2
+        assert rec.device_losses == 1
+        (run,) = rec.finish_spans()
+        membership = [
+            s for s in run.children if s.category == "membership"
+        ]
+        assert len(membership) == 3
+
+    def test_dict_fold_matches_live(self):
+        rec = ObsRecorder(run_name="serve")
+        rec.add_dict(
+            {
+                "event": "device_joined", "device_id": "a",
+                "client_id": 0, "time_s": 1.0,
+            }
+        )
+        rec.add_dict(
+            {
+                "event": "device_lost", "device_id": "a",
+                "client_id": 0, "reason": "deregistered",
+                "time_s": 2.0,
+            }
+        )
+        assert rec.device_joins == 1
+        assert rec.device_losses == 1
+        events = rec.metrics.counter(catalog.EVENTS_TOTAL)
+        assert events.value(kind="device_joined") == 1
+        assert events.value(kind="device_lost") == 1

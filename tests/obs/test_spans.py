@@ -185,3 +185,89 @@ class TestEdgeCases:
         child.children.append(grand)
         root.children.append(child)
         assert [s.name for s in root.walk()] == ["a", "b", "c"]
+
+
+class TestMembershipSpans:
+    """Regression: between-round churn hangs off the run, not a round."""
+
+    def _events(self):
+        return [
+            {
+                "event": "client_dispatched", "round_idx": 1,
+                "client_id": 0, "n_samples": 100, "time_s": 0.0,
+            },
+            {
+                "event": "client_finished", "round_idx": 1,
+                "client_id": 0, "compute_s": 3.0, "comm_s": 1.0,
+                "total_s": 4.0, "time_s": 4.0,
+            },
+            {
+                "event": "round_completed", "round_idx": 1,
+                "makespan_s": 4.0, "mean_time_s": 4.0,
+                "participant_count": 1, "time_s": 4.0,
+            },
+            # churn strictly between round 1 and round 2
+            {
+                "event": "device_joined", "device_id": "d7",
+                "client_id": 7, "time_s": 5.0,
+            },
+            {
+                "event": "device_lost", "device_id": "d0",
+                "client_id": 0, "reason": "timeout", "time_s": 6.0,
+            },
+            {
+                "event": "client_dispatched", "round_idx": 2,
+                "client_id": 7, "n_samples": 100, "time_s": 7.0,
+            },
+            {
+                "event": "round_completed", "round_idx": 2,
+                "makespan_s": 2.0, "mean_time_s": 2.0,
+                "participant_count": 1, "time_s": 9.0,
+            },
+        ]
+
+    def test_membership_instants_are_run_children(self):
+        (run,) = spans_from_events(self._events(), run_name="serve")
+        membership = [
+            s for s in run.children if s.category == "membership"
+        ]
+        assert [s.name for s in membership] == [
+            "device_joined [d7]",
+            "device_lost [d0]",
+        ]
+        # instants: zero duration, stamped at the event time
+        for span in membership:
+            assert span.start_s == span.end_s
+        assert membership[0].attrs == {"device_id": "d7", "client": 7}
+        assert membership[1].attrs["reason"] == "timeout"
+        # and *no* round span claims them
+        for round_span in run.children:
+            if round_span.category == "round":
+                assert all(
+                    s.category != "membership"
+                    for s in round_span.walk()
+                )
+
+    def test_membership_does_not_distort_round_intervals(self):
+        (run,) = spans_from_events(self._events())
+        rounds = [s for s in run.children if s.category == "round"]
+        assert [r.attrs["round"] for r in rounds] == [1, 2]
+        r1, r2 = rounds
+        # round 1 closed at its completion time; the 5.0s/6.0s churn
+        # instants did not stretch it
+        assert r1.end_s == pytest.approx(4.0)
+        assert r2.end_s == pytest.approx(9.0)
+        # but the run itself spans the churn
+        assert run.start_s <= 0.0 and run.end_s >= 9.0
+
+    def test_live_fold_matches_replay(self):
+        from repro.obs.spans import SpanBuilder
+
+        builder = SpanBuilder(run_name="serve")
+        for event in self._events():
+            builder.add(event)
+        (run,) = builder.finish()
+        membership = [
+            s for s in run.children if s.category == "membership"
+        ]
+        assert len(membership) == 2

@@ -149,6 +149,60 @@ class TestEngineBinding:
             sim.run_round(train=False)
 
 
+class TestRestrictProblem:
+    """Membership restriction: the serve re-plan entry point."""
+
+    def _problem(self, n=4, total=8, cap=4):
+        k = np.arange(1, total + 1)
+        time_cost = np.linspace(0.5, 2.0, n)[:, None] * k[None, :]
+        return SchedulingProblem(
+            time_cost=time_cost,
+            total_shards=total,
+            capacities=np.full(n, cap, dtype=np.int64),
+        )
+
+    def test_zeroes_non_eligible_capacities(self):
+        from repro.sched.binding import restrict_problem
+
+        p = self._problem()
+        restricted = restrict_problem(p, [0, 2])
+        assert restricted.capacities.tolist() == [4, 0, 4, 0]
+        # the original instance is untouched
+        assert p.capacities.tolist() == [4, 4, 4, 4]
+        # budget is preserved: the workload does not shrink
+        assert restricted.total_shards == p.total_shards
+
+    def test_restricted_schedule_covers_only_eligible(self):
+        from repro.sched.binding import restrict_problem
+
+        p = self._problem()
+        restricted = restrict_problem(p, [1, 3])
+        a = get_scheduler("olar").schedule(restricted)
+        counts = np.asarray(a.shard_counts)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts.sum() == p.total_shards
+
+    def test_infeasible_restriction_is_loud(self):
+        from repro.sched.binding import restrict_problem
+
+        p = self._problem(n=4, total=8, cap=4)
+        with pytest.raises(RuntimeError, match="infeasible"):
+            restrict_problem(p, [0])  # 4 < 8 shards
+
+    def test_uncapped_problem_defaults_to_budget(self):
+        from repro.sched.binding import restrict_problem
+
+        k = np.arange(1, 7)
+        p = SchedulingProblem(
+            time_cost=np.ones((3, 6)) * k[None, :],
+            total_shards=6,
+        )
+        restricted = restrict_problem(p, [2])
+        # effective capacity of an uncapped user is the full budget,
+        # so one survivor can still absorb everything
+        assert restricted.capacities.tolist() == [0, 0, 6]
+
+
 class TestProblemFromEngine:
     def test_builds_from_devices_and_users(self, tiny_dataset):
         from repro.device.registry import make_device

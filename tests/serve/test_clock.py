@@ -1,0 +1,43 @@
+"""The service-clock seam: real by default, manual in tests."""
+
+import time
+
+import pytest
+
+from repro.serve import ManualClock, NowFn, now
+
+
+def test_now_reads_the_wall_clock():
+    before = time.time()
+    t = now()
+    after = time.time()
+    assert before <= t <= after
+
+
+def test_now_satisfies_the_seam_type():
+    fn: NowFn = now
+    assert isinstance(fn(), float)
+
+
+def test_manual_clock_starts_where_told():
+    assert ManualClock()() == 0.0
+    assert ManualClock(start_s=42.5)() == 42.5
+
+
+def test_manual_clock_advances():
+    clock = ManualClock()
+    clock.advance(3.0)
+    clock.advance(0.5)
+    assert clock() == 3.5
+    clock.set(10.0)
+    assert clock() == 10.0
+
+
+def test_manual_clock_never_runs_backwards():
+    clock = ManualClock(start_s=5.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance(-1.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.set(4.0)
+    # failed moves leave the clock untouched
+    assert clock() == 5.0

@@ -1,0 +1,143 @@
+"""End-to-end acceptance: a full service lifecycle, fully deterministic.
+
+The scenario the issue pins: boot the app on a manual clock, churn a
+simulated device population through it, run **three** training rounds
+with a device loss injected *mid-round* (between plan and dispatch),
+and verify the orchestrator's contract:
+
+* the loss invalidates the plan and the scheduler is re-invoked
+  (``DeviceLost`` → re-plan);
+* no computed schedule — first plan or re-plan — ever names a dead
+  device;
+* every completed round commits exactly one model version, lineage
+  unbroken back to genesis;
+* ``/metrics`` exposes every ``repro_serve_*`` instrument.
+
+No real sleeps, no wall clock, no sockets: identical on every run.
+"""
+
+import asyncio
+
+from repro.engine.events import DeviceLost, RoundCompleted
+from repro.serve import SimClientDriver, churn_trace
+
+from .conftest import make_app
+
+N_DEVICES = 24
+N_ROUNDS = 3
+HORIZON_S = 240.0
+
+SERVE_METRICS = (
+    "repro_serve_devices",
+    "repro_serve_heartbeat_lag_seconds",
+    "repro_serve_replans_total",
+    "repro_serve_rounds_in_flight",
+    "repro_serve_requests_total",
+)
+
+
+def run_lifecycle():
+    app, clock = make_app(n=32)
+    events = []
+    app.bus.subscribe(events.append)
+    trace = churn_trace(
+        N_DEVICES,
+        horizon_s=HORIZON_S,
+        seed=11,
+        heartbeat_every_s=3.0,
+        join_window_s=30.0,
+    )
+    driver = SimClientDriver(app, clock, trace)
+
+    injected = []
+
+    def inject_loss(phase, job):
+        # at round 2's *planned* checkpoint, a scheduled device
+        # deregisters mid-round — after the plan, before dispatch
+        if phase != "planned" or job.round_id != 2 or injected:
+            return
+        plan = app.coordinator.plan_log[-1]
+        for record in app.registry.records.values():
+            if (
+                record.client_id in plan.scheduled
+                and record.state != "dead"
+            ):
+                app.registry.deregister(record.device_id)
+                injected.append(record.client_id)
+                return
+
+    app.coordinator.churn_hook = inject_loss
+
+    async def lifecycle():
+        await driver.run_until(30.0)  # everyone joins
+        gap_s = (HORIZON_S - 30.0) / N_ROUNDS
+        jobs = []
+        for _ in range(N_ROUNDS):
+            status, payload = app.handle_request(
+                "POST", "/v1/rounds", {}
+            )
+            assert status == 202
+            jobs.extend(await app.run_pending())
+            await driver.run_until(clock() + gap_s)
+        return jobs
+
+    jobs = asyncio.run(lifecycle())
+    return app, driver, events, jobs, injected
+
+
+def test_full_service_lifecycle():
+    app, driver, events, jobs, injected = run_lifecycle()
+
+    # -- three completed rounds --------------------------------------------
+    assert len(jobs) == N_ROUNDS
+    assert [j.status for j in jobs] == ["completed"] * N_ROUNDS
+    completions = [e for e in events if isinstance(e, RoundCompleted)]
+    assert len(completions) == N_ROUNDS
+
+    # -- the injected mid-round loss forced a re-plan ----------------------
+    assert len(injected) == 1
+    round2 = jobs[1]
+    assert round2.replans >= 1
+    losses = [e for e in events if isinstance(e, DeviceLost)]
+    assert injected[0] in {e.client_id for e in losses}
+    # the victim is gone from round 2's adopted plan and provenance
+    final_plan = [
+        p for p in app.coordinator.plan_log if p.round_id == 2
+    ][-1]
+    assert injected[0] not in final_plan.scheduled
+    version2 = app.models.get(round2.model_version)
+    assert injected[0] not in version2.metadata["participants"]
+
+    # -- no schedule, ever, named a dead device ----------------------------
+    assert app.coordinator.plan_log  # plans were actually recorded
+    assert all(
+        p.dead_scheduled == 0 for p in app.coordinator.plan_log
+    )
+    # and strictly more solves than rounds (the re-plan is real)
+    assert len(app.coordinator.plan_log) > N_ROUNDS
+
+    # -- exactly one model version per completed round ---------------------
+    assert [j.model_version for j in jobs] == [1, 2, 3]
+    assert len(app.models) == N_ROUNDS + 1  # + genesis
+    assert app.models.lineage(N_ROUNDS) == [3, 2, 1, 0]
+    for job in jobs:
+        meta = app.models.get(job.model_version).metadata
+        assert meta["round_id"] == job.round_id
+        assert meta["participants"]
+
+    # -- /metrics exposes the full serve instrument set --------------------
+    status, text = app.handle_request("GET", "/metrics", None)
+    assert status == 200
+    for name in SERVE_METRICS:
+        assert name in text
+    assert "repro_serve_replans_total 1" in text
+
+
+def test_lifecycle_is_deterministic():
+    app_a, _, events_a, jobs_a, injected_a = run_lifecycle()
+    app_b, _, events_b, jobs_b, injected_b = run_lifecycle()
+    assert injected_a == injected_b
+    assert [j.record for j in jobs_a] == [j.record for j in jobs_b]
+    assert app_a.registry.counts() == app_b.registry.counts()
+    assert app_a.coordinator.plan_log == app_b.coordinator.plan_log
+    assert len(events_a) == len(events_b)

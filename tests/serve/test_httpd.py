@@ -1,0 +1,147 @@
+"""Socket smoke: the asyncio HTTP layer end to end on an ephemeral port.
+
+These are the only serve tests that open a real socket; everything runs
+on one event loop (server and client), so they are still sleep-free.
+The heartbeat monitor is disabled — the app sits on a manual clock.
+"""
+
+import asyncio
+
+from repro.serve.httpd import (
+    MAX_BODY_BYTES,
+    ServeHttpServer,
+    http_request,
+)
+
+from .conftest import make_app
+
+
+def with_server(fn):
+    """Run ``fn(server, port)`` against a booted server, then stop."""
+
+    async def runner():
+        app, clock = make_app()
+        server = ServeHttpServer(app, port=0, monitor=False)
+        port = await server.start()
+        try:
+            return await fn(app, clock, server, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+def test_ephemeral_port_is_resolved():
+    async def check(app, clock, server, port):
+        assert port > 0
+        assert server.port == port
+
+    with_server(check)
+
+
+def test_register_heartbeat_over_http():
+    async def check(app, clock, server, port):
+        status, payload = await http_request(
+            "127.0.0.1",
+            port,
+            "POST",
+            "/v1/devices/register",
+            {"device_id": "phone-1", "data_size": 400},
+        )
+        assert status == 201
+        assert payload["client_id"] == 0
+        clock.advance(1.5)
+        status, payload = await http_request(
+            "127.0.0.1", port, "POST", "/v1/devices/phone-1/heartbeat"
+        )
+        assert status == 200
+        assert payload["state"] == "active"
+
+    with_server(check)
+
+
+def test_rounds_run_on_the_server_loop():
+    async def check(app, clock, server, port):
+        for i in range(4):
+            await http_request(
+                "127.0.0.1",
+                port,
+                "POST",
+                "/v1/devices/register",
+                {"device_id": f"d{i}", "data_size": 600},
+            )
+        status, payload = await http_request(
+            "127.0.0.1", port, "POST", "/v1/rounds", {}
+        )
+        assert status == 202
+        await server.round_tasks_done()
+        status, payload = await http_request(
+            "127.0.0.1", port, "GET", "/v1/rounds/1"
+        )
+        assert status == 200
+        assert payload["status"] == "completed"
+        assert payload["model_version"] == 1
+
+    with_server(check)
+
+
+def test_metrics_scrape_is_text():
+    async def check(app, clock, server, port):
+        status, text = await http_request(
+            "127.0.0.1", port, "GET", "/metrics"
+        )
+        assert status == 200
+        assert isinstance(text, str)
+        assert "repro_serve_devices" in text
+
+    with_server(check)
+
+
+def test_malformed_json_is_400():
+    async def check(app, clock, server, port):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        raw = b"{nope"
+        writer.write(
+            b"POST /v1/devices/register HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(raw)}\r\n\r\n".encode()
+            + raw
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        assert b"400" in status_line
+        writer.close()
+        await writer.wait_closed()
+
+    with_server(check)
+
+
+def test_oversized_body_is_rejected():
+    async def check(app, clock, server, port):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        writer.write(
+            b"POST /v1/rounds HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        assert b"400" in status_line
+        writer.close()
+        await writer.wait_closed()
+
+    with_server(check)
+
+
+def test_query_strings_are_ignored():
+    async def check(app, clock, server, port):
+        status, payload = await http_request(
+            "127.0.0.1", port, "GET", "/healthz?verbose=1"
+        )
+        assert status == 200
+        assert payload["ok"] is True
+
+    with_server(check)

@@ -1,0 +1,51 @@
+"""Model version registry: monotonic ids and an unbroken lineage."""
+
+import pytest
+
+from repro.serve import ManualClock, ModelRegistry, ModelVersion
+
+
+def test_genesis_exists_at_version_zero():
+    models = ModelRegistry(now_fn=ManualClock())
+    assert len(models) == 1
+    genesis = models.latest()
+    assert isinstance(genesis, ModelVersion)
+    assert genesis.version == 0
+    assert genesis.parent is None
+    assert genesis.metadata == {"genesis": True}
+
+
+def test_commit_is_monotonic_and_parented():
+    clock = ManualClock()
+    models = ModelRegistry(now_fn=clock)
+    clock.advance(5.0)
+    v1 = models.commit(round_id=1, scheduler="proportional")
+    clock.advance(5.0)
+    v2 = models.commit(round_id=2)
+    assert (v1.version, v2.version) == (1, 2)
+    assert v1.parent == 0 and v2.parent == 1
+    assert v1.created_s == 5.0 and v2.created_s == 10.0
+    assert v1.metadata["round_id"] == 1
+    assert models.latest() is v2
+    assert models.get(1) is v1
+    assert models.get(99) is None
+    assert [m.version for m in models.history()] == [0, 1, 2]
+
+
+def test_lineage_walks_back_to_genesis():
+    models = ModelRegistry(now_fn=ManualClock())
+    for r in range(3):
+        models.commit(round_id=r + 1)
+    assert models.lineage(3) == [3, 2, 1, 0]
+    assert models.lineage(0) == [0]
+    with pytest.raises(KeyError):
+        models.lineage(7)
+
+
+def test_to_dict_copies_metadata():
+    models = ModelRegistry(now_fn=ManualClock())
+    entry = models.commit(participants=[1, 2])
+    payload = entry.to_dict()
+    assert payload["metadata"] is not entry.metadata
+    payload["metadata"]["tampered"] = True
+    assert "tampered" not in models.get(1).metadata

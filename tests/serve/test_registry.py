@@ -1,0 +1,220 @@
+"""Device registry state machine: registered → active → stale → dead."""
+
+import numpy as np
+import pytest
+
+from repro.engine.events import DeviceJoined, DeviceLost, EventBus
+from repro.serve import (
+    DEVICE_STATES,
+    DeviceRecord,
+    DeviceRegistry,
+    ManualClock,
+)
+from repro.serve.registry import RegistryError
+
+from .conftest import toy_fleet
+
+
+def make_registry(n=8, clock=None, bus=None, **kwargs):
+    clock = clock if clock is not None else ManualClock()
+    registry = DeviceRegistry(
+        toy_fleet(n),
+        stale_after_s=10.0,
+        dead_after_s=30.0,
+        now_fn=clock,
+        bus=bus,
+        **kwargs,
+    )
+    return registry, clock
+
+
+def test_states_are_ordered_lifecycle():
+    assert DEVICE_STATES == ("registered", "active", "stale", "dead")
+
+
+def test_registry_owns_the_alive_column():
+    fleet = toy_fleet(8)
+    assert fleet.alive.all()  # synthetic fleets start fully alive
+    DeviceRegistry(fleet, now_fn=ManualClock())
+    assert not fleet.alive.any()  # registry resets: rows are unclaimed
+
+
+def test_register_claims_rows_in_order():
+    registry, _ = make_registry()
+    a = registry.register("a", data_size=100, battery_soc=0.5)
+    b = registry.register("b")
+    assert isinstance(a, DeviceRecord)
+    assert (a.client_id, b.client_id) == (0, 1)
+    assert a.state == "registered"
+    assert registry.fleet.alive[0] and registry.fleet.alive[1]
+    assert registry.fleet.data_size[0] == 100
+    assert registry.fleet.battery_j[0] == pytest.approx(
+        0.5 * registry.fleet.capacity_j[0]
+    )
+    assert registry.live_count() == 2
+    assert list(registry.live_indices()) == [0, 1]
+
+
+def test_duplicate_registration_conflicts():
+    registry, _ = make_registry()
+    registry.register("a")
+    with pytest.raises(RegistryError) as exc:
+        registry.register("a")
+    assert exc.value.code == 409
+
+
+def test_full_registry_is_unavailable():
+    registry, _ = make_registry(n=2)
+    registry.register("a")
+    registry.register("b")
+    with pytest.raises(RegistryError) as exc:
+        registry.register("c")
+    assert exc.value.code == 503
+
+
+def test_heartbeat_activates_and_measures_lag():
+    registry, clock = make_registry()
+    registry.register("a")
+    clock.advance(3.0)
+    lag = registry.heartbeat("a")
+    assert lag == pytest.approx(3.0)
+    assert registry.get("a").state == "active"
+    assert registry.get("a").heartbeats == 1
+
+
+def test_silence_goes_stale_then_dead():
+    registry, clock = make_registry()  # stale at 10s, dead at 30s
+    registry.register("a")
+    clock.advance(9.0)
+    registry.check()
+    assert registry.get("a").state == "registered"
+    clock.advance(2.0)  # t=11: past stale
+    registry.check()
+    assert registry.get("a").state == "stale"
+    assert registry.is_live(0)  # stale is still schedulable
+    clock.advance(20.0)  # t=31: past dead
+    died = registry.check()
+    assert [r.device_id for r in died] == ["a"]
+    record = registry.get("a")
+    assert record.state == "dead"
+    assert record.lost_reason == "timeout"
+    assert not registry.is_live(0)
+
+
+def test_heartbeat_revives_stale():
+    registry, clock = make_registry()
+    registry.register("a")
+    clock.advance(12.0)
+    registry.check()
+    assert registry.get("a").state == "stale"
+    registry.heartbeat("a")
+    assert registry.get("a").state == "active"
+    clock.advance(12.0)
+    registry.check()  # staleness counts from the *last* heartbeat
+    assert registry.get("a").state == "stale"
+
+
+def test_dead_device_heartbeat_is_gone():
+    registry, clock = make_registry()
+    registry.register("a")
+    clock.advance(31.0)
+    registry.check()
+    with pytest.raises(RegistryError) as exc:
+        registry.heartbeat("a")
+    assert exc.value.code == 410
+
+
+def test_unknown_device_is_404():
+    registry, _ = make_registry()
+    with pytest.raises(RegistryError) as exc:
+        registry.get("ghost")
+    assert exc.value.code == 404
+
+
+def test_deregister_kills_immediately():
+    registry, _ = make_registry()
+    registry.register("a")
+    record = registry.deregister("a")
+    assert record.state == "dead"
+    assert record.lost_reason == "deregistered"
+    assert not registry.is_live(record.client_id)
+    with pytest.raises(RegistryError) as exc:
+        registry.deregister("a")  # double-leave is 410
+    assert exc.value.code == 410
+
+
+def test_dead_identity_may_reregister_on_a_fresh_row():
+    registry, _ = make_registry()
+    first = registry.register("a")
+    registry.deregister("a")
+    second = registry.register("a")
+    assert second.client_id != first.client_id
+    assert second.state == "registered"
+    assert registry.is_live(second.client_id)
+    assert not registry.fleet.alive[first.client_id]
+
+
+def test_counts_track_every_transition():
+    registry, clock = make_registry()
+    registry.register("a")
+    registry.register("b")
+    registry.heartbeat("a")
+    assert registry.counts() == {
+        "registered": 1,
+        "active": 1,
+        "stale": 0,
+        "dead": 0,
+    }
+    clock.advance(31.0)
+    registry.heartbeat("a")  # keeps a alive; b times out
+    registry.check()
+    assert registry.counts() == {
+        "registered": 0,
+        "active": 1,
+        "stale": 0,
+        "dead": 1,
+    }
+
+
+def test_membership_events_ride_the_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    registry, clock = make_registry(bus=bus)
+    registry.register("a")
+    clock.advance(5.0)
+    registry.deregister("a")
+    joined, lost = seen
+    assert isinstance(joined, DeviceJoined)
+    assert (joined.device_id, joined.client_id) == ("a", 0)
+    assert joined.time_s == 0.0
+    assert isinstance(lost, DeviceLost)
+    assert lost.reason == "deregistered"
+    assert lost.time_s == 5.0
+    assert lost.to_dict()["event"] == "device_lost"
+
+
+def test_snapshot_is_registration_ordered_and_json_ready():
+    registry, _ = make_registry()
+    registry.register("b")
+    registry.register("a")
+    snap = registry.snapshot()
+    assert [r["device_id"] for r in snap] == ["b", "a"]
+    assert all(isinstance(r["client_id"], int) for r in snap)
+
+
+def test_threshold_validation():
+    fleet = toy_fleet(4)
+    with pytest.raises(ValueError, match="positive"):
+        DeviceRegistry(fleet, stale_after_s=0.0)
+    with pytest.raises(ValueError, match="exceed"):
+        DeviceRegistry(fleet, stale_after_s=30.0, dead_after_s=30.0)
+
+
+def test_live_indices_is_an_array():
+    registry, _ = make_registry()
+    registry.register("a")
+    registry.register("b")
+    registry.deregister("a")
+    assert isinstance(registry.live_indices(), np.ndarray)
+    assert registry.live_indices().tolist() == [1]

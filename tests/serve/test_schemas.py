@@ -1,0 +1,100 @@
+"""Request-body validation: every malformed body is a SchemaError."""
+
+import pytest
+
+from repro.serve import SchemaError
+from repro.serve.schemas import (
+    HeartbeatRequest,
+    RegisterRequest,
+    RoundRequest,
+)
+
+
+class TestRegisterRequest:
+    def test_minimal(self):
+        req = RegisterRequest.from_dict({"device_id": "phone-1"})
+        assert req.device_id == "phone-1"
+        assert req.data_size is None
+        assert req.battery_soc is None
+
+    def test_full(self):
+        req = RegisterRequest.from_dict(
+            {"device_id": "p", "data_size": 500, "battery_soc": 0.8}
+        )
+        assert req.data_size == 500
+        assert req.battery_soc == 0.8
+
+    def test_missing_device_id(self):
+        with pytest.raises(SchemaError, match="device_id"):
+            RegisterRequest.from_dict({})
+
+    def test_empty_device_id(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            RegisterRequest.from_dict({"device_id": ""})
+
+    def test_unknown_key_is_named(self):
+        with pytest.raises(SchemaError, match="device-id"):
+            RegisterRequest.from_dict({"device-id": "typo"})
+
+    def test_data_size_must_be_positive_int(self):
+        with pytest.raises(SchemaError, match="data_size"):
+            RegisterRequest.from_dict(
+                {"device_id": "p", "data_size": 0}
+            )
+        with pytest.raises(SchemaError, match="integer"):
+            RegisterRequest.from_dict(
+                {"device_id": "p", "data_size": "500"}
+            )
+        # bool is an int subclass: still rejected
+        with pytest.raises(SchemaError, match="integer"):
+            RegisterRequest.from_dict(
+                {"device_id": "p", "data_size": True}
+            )
+
+    def test_soc_range(self):
+        for bad in (-0.1, 1.5, "full", True):
+            with pytest.raises(SchemaError):
+                RegisterRequest.from_dict(
+                    {"device_id": "p", "battery_soc": bad}
+                )
+        req = RegisterRequest.from_dict(
+            {"device_id": "p", "battery_soc": 1}
+        )
+        assert req.battery_soc == 1.0
+
+
+class TestHeartbeatRequest:
+    def test_empty_body_ok(self):
+        assert HeartbeatRequest.from_dict({}).battery_soc is None
+
+    def test_soc(self):
+        assert (
+            HeartbeatRequest.from_dict({"battery_soc": 0.5}).battery_soc
+            == 0.5
+        )
+
+    def test_unknown_key(self):
+        with pytest.raises(SchemaError, match="unknown keys"):
+            HeartbeatRequest.from_dict({"soc": 0.5})
+
+
+class TestRoundRequest:
+    def test_defaults(self):
+        req = RoundRequest.from_dict({})
+        assert req.scheduler is None
+        assert req.cohort_size is None
+
+    def test_explicit(self):
+        req = RoundRequest.from_dict(
+            {"scheduler": "greedy", "cohort_size": 8}
+        )
+        assert req.scheduler == "greedy"
+        assert req.cohort_size == 8
+
+    def test_cohort_size_minimum(self):
+        with pytest.raises(SchemaError, match=">= 1"):
+            RoundRequest.from_dict({"cohort_size": 0})
+
+    def test_scheduler_type(self):
+        with pytest.raises(SchemaError, match="string"):
+            RoundRequest.from_dict({"scheduler": 3})

@@ -1,0 +1,112 @@
+"""Simulated devices: seeded churn traces and the in-process driver."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import ChurnEvent, ManualClock, SimClientDriver, churn_trace
+
+from .conftest import make_app
+
+
+def test_trace_is_a_pure_function_of_the_seed():
+    a = churn_trace(20, horizon_s=100.0, seed=7)
+    b = churn_trace(20, horizon_s=100.0, seed=7)
+    c = churn_trace(20, horizon_s=100.0, seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_trace_shape():
+    trace = churn_trace(10, horizon_s=100.0, seed=0)
+    assert sorted(e.at_s for e in trace) == [e.at_s for e in trace]
+    joins = [e for e in trace if e.action == "join"]
+    assert len(joins) == 10
+    assert {e.device_id for e in joins} == {
+        f"sim-{i:04d}" for i in range(10)
+    }
+    # joins land in the first quarter by default
+    assert max(e.at_s for e in joins) <= 25.0
+    # nothing escapes the horizon
+    assert all(e.at_s < 100.0 or e.action == "leave" for e in trace)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError, match="positive"):
+        churn_trace(0, horizon_s=10.0)
+    with pytest.raises(ValueError, match="positive"):
+        churn_trace(5, horizon_s=-1.0)
+    with pytest.raises(ValueError, match="frac"):
+        churn_trace(5, horizon_s=10.0, leave_frac=0.9, silence_frac=0.9)
+
+
+def test_churn_event_rejects_unknown_actions():
+    with pytest.raises(ValueError, match="unknown churn action"):
+        ChurnEvent(1.0, "reboot", "sim-0000")
+
+
+def test_driver_is_deterministic_end_to_end():
+    def run(seed):
+        app, clock = make_app(n=32)
+        trace = churn_trace(
+            20, horizon_s=200.0, seed=seed, heartbeat_every_s=4.0
+        )
+        driver = SimClientDriver(app, clock, trace)
+        asyncio.run(driver.run())
+        return app.registry.counts(), driver.statuses()
+
+    counts_a, statuses_a = run(3)
+    counts_b, statuses_b = run(3)
+    assert counts_a == counts_b
+    assert statuses_a == statuses_b
+    # churn actually happened: somebody joined, somebody died
+    assert sum(counts_a.values()) >= 20
+    assert counts_a["dead"] > 0
+
+
+def test_driver_sweeps_catch_silent_devices():
+    app, clock = make_app(n=8)  # stale at 10s, dead at 30s
+    trace = [ChurnEvent(0.0, "join", "sim-0000")]  # then silence
+    driver = SimClientDriver(app, clock, trace)
+    asyncio.run(driver.run_until(29.0))
+    assert app.registry.get("sim-0000").state == "stale"
+    asyncio.run(driver.run_until(31.0))
+    assert app.registry.get("sim-0000").state == "dead"
+    assert app.registry.get("sim-0000").lost_reason == "timeout"
+
+
+def test_driver_delivers_over_a_transport_seam():
+    app, clock = make_app(n=8)
+    calls = []
+
+    async def transport(method, path, body):
+        calls.append((method, path))
+        return app.handle_request(method, path, body)
+
+    trace = [
+        ChurnEvent(0.0, "join", "a"),
+        ChurnEvent(1.0, "heartbeat", "a"),
+        ChurnEvent(2.0, "leave", "a"),
+    ]
+    driver = SimClientDriver(app, clock, trace, transport=transport)
+    asyncio.run(driver.run())
+    assert [m for m, _ in calls] == ["POST", "POST", "DELETE"]
+    assert driver.statuses() == {
+        "join": [201],
+        "heartbeat": [200],
+        "leave": [200],
+    }
+
+
+def test_driver_validates_sweep_cadence():
+    app, clock = make_app(n=4)
+    with pytest.raises(ValueError, match="sweep_every_s"):
+        SimClientDriver(app, clock, [], sweep_every_s=0.0)
+
+
+def test_driver_requires_manual_clock_semantics():
+    clock = ManualClock(start_s=5.0)
+    app, _ = make_app(n=4, clock=clock)
+    driver = SimClientDriver(app, clock, [])
+    asyncio.run(driver.run_until(10.0))
+    assert clock() == 10.0

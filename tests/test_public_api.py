@@ -201,3 +201,64 @@ def test_energy_curve_cache_clears():
     (b,) = cached_energy_curves(("mate10",), model, sizes)
     assert a is not b  # the cache really was dropped
     assert a(150.0) == b(150.0)  # ...but the fit is deterministic
+
+
+def test_serve_exports_cover_the_control_plane():
+    """The repro.serve surface: one import site pins every export."""
+    from repro.serve import (
+        DEVICE_STATES,
+        ChurnEvent,
+        DeviceRecord,
+        DeviceRegistry,
+        HeartbeatMonitor,
+        ManualClock,
+        ModelRegistry,
+        ModelVersion,
+        NowFn,
+        PlanRecord,
+        RoundJob,
+        SchemaError,
+        ServeApp,
+        ServeConfig,
+        SimClientDriver,
+        TrainingCoordinator,
+        churn_trace,
+        now,
+    )
+
+    assert DEVICE_STATES == ("registered", "active", "stale", "dead")
+    assert issubclass(SchemaError, ValueError)
+    # the seam type is honoured by both clocks
+    fn: NowFn = ManualClock(start_s=3.0)
+    assert fn() == 3.0
+    assert isinstance(now(), float)
+    # dataclass shapes downstream consumers rely on
+    assert {f.name for f in dataclasses.fields(RoundJob)} >= {
+        "round_id", "status", "replans", "model_version",
+    }
+    assert {f.name for f in dataclasses.fields(PlanRecord)} == {
+        "round_id", "attempt", "scheduled", "dead_scheduled",
+    }
+    assert {f.name for f in dataclasses.fields(ModelVersion)} == {
+        "version", "parent", "created_s", "metadata",
+    }
+    assert {f.name for f in dataclasses.fields(ChurnEvent)} == {
+        "at_s", "action", "device_id",
+    }
+    assert {f.name for f in dataclasses.fields(DeviceRecord)} >= {
+        "device_id", "client_id", "state",
+    }
+    assert {f.name for f in dataclasses.fields(ServeConfig)} >= {
+        "fleet_size", "scheduler", "stale_after_s", "dead_after_s",
+    }
+    # classes exist and are constructible shapes, not re-export typos
+    for cls in (
+        ServeApp,
+        DeviceRegistry,
+        HeartbeatMonitor,
+        ModelRegistry,
+        TrainingCoordinator,
+        SimClientDriver,
+    ):
+        assert isinstance(cls, type)
+    assert callable(churn_trace)
