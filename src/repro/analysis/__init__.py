@@ -11,6 +11,15 @@ graph and approximate call graph — parsed exactly once — feeding the
 cross-module rules (event-dispatch exhaustiveness, scheduler contract,
 unit consistency, dead public API).
 
+Since PR 8 the engine is also *flow-sensitive*: per-function
+control-flow graphs (:mod:`cfg` — basic blocks, branch/loop/try edges,
+``await`` suspension points) and a forward-dataflow worklist solver
+(:mod:`dataflow`) power the async-safety rule pack (:mod:`asyncrules`)
+that keeps the :mod:`repro.serve` control plane honest: blocking calls
+reachable from coroutines, coroutines never awaited, locks held across
+suspension points, leaked tasks, and fleet-column writes outside the
+registry's ownership seam.
+
 ``repro lint`` is the CLI shell around
 :func:`~repro.analysis.runner.lint_repo`; ``--format sarif`` exports
 GitHub-code-scanning-ready SARIF (:mod:`sarif`), ``--fix`` applies the
@@ -19,6 +28,7 @@ suppressed per line (``# lint: allow[rule-id]``) or via the checked-in
 baseline (:mod:`baseline`). See ``docs/static-analysis.md``.
 """
 
+from . import asyncrules  # register the async-safety rule pack
 from . import rules  # register the built-in rule set
 from .base import (
     FileContext,
@@ -36,6 +46,20 @@ from .baseline import (
     apply_baseline,
     load_baseline,
     write_baseline,
+)
+from .cfg import (
+    CFG,
+    BasicBlock,
+    Edge,
+    build_cfg,
+    iter_function_cfgs,
+)
+from .dataflow import (
+    ForwardAnalysis,
+    MaySuspend,
+    ReachingDefinitions,
+    solve_forward,
+    unit_facts,
 )
 from .findings import Finding, Severity
 from .fixes import FIXABLE_RULES, FixResult, apply_fixes, fix_source
@@ -64,6 +88,16 @@ __all__ = [
     "ProjectGraph",
     "build_project",
     "set_parse_listener",
+    "CFG",
+    "BasicBlock",
+    "Edge",
+    "build_cfg",
+    "iter_function_cfgs",
+    "ForwardAnalysis",
+    "MaySuspend",
+    "ReachingDefinitions",
+    "solve_forward",
+    "unit_facts",
     "LintReport",
     "lint_repo",
     "lint_source",

@@ -1,0 +1,862 @@
+"""Async-safety rule pack for the serve control plane.
+
+The orchestrator (:mod:`repro.serve`) is a single asyncio event loop
+interleaving heartbeats, monitor sweeps and round jobs over one shared
+columnar fleet. Its failure modes are *ordering* bugs — a blocking
+call starving every round, a lock held while the loop runs someone
+else's code, a dropped task that shutdown cancellation can't reach —
+which the per-node AST rules of :mod:`repro.analysis.rules` cannot
+express. These five rules run on the flow-sensitive layer
+(:mod:`repro.analysis.cfg` + :mod:`repro.analysis.dataflow`) and the
+whole-program call graph instead:
+
+* ``blocking-call-in-async`` — ``time.sleep`` / socket / subprocess /
+  file-I/O reachable from a coroutine without an executor hop,
+  *transitively*: a sync helper that blocks taints every sync caller,
+  and any coroutine calling into that chain is flagged with the path.
+* ``unawaited-coroutine`` — a coroutine call whose object is neither
+  awaited, passed along, nor stored anywhere it is later used: the
+  body silently never runs.
+* ``lock-across-await`` — an ``asyncio``/``threading`` lock held over
+  a suspension point. A forward dataflow tracks the held-lock set
+  through branches, loops and ``with`` blocks; the *order* of release
+  vs. ``await`` is exactly what the AST engine could not see.
+* ``task-leak`` — ``asyncio.create_task`` / ``ensure_future`` whose
+  handle is dropped (bare statement or never-read local), so shutdown
+  cancellation and exception retrieval can't reach the task.
+* ``shared-fleet-mutation`` — writes to :class:`~repro.fleet.store
+  .FleetStore` columns from ``repro.serve`` code outside
+  ``DeviceRegistry`` (the registry owns the lifecycle columns — see
+  ``docs/orchestrator.md``), tracked through local aliases by a
+  forward alias analysis rather than a name heuristic.
+
+All five degrade gracefully without a project graph (fixture runs):
+the cross-module legs switch off, the local legs keep working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from .base import FileContext, FileRule, ProjectContext, rule
+from .cfg import (
+    CFG,
+    Unit,
+    WithExit,
+    build_cfg,
+    contains_suspension,
+    walk_function_body,
+)
+from .dataflow import ForwardAnalysis, solve_forward, unit_facts
+from .findings import Finding
+from .project import FunctionInfo, ModuleInfo, module_name_for
+
+__all__ = [
+    "BlockingCallInAsync",
+    "UnawaitedCoroutine",
+    "LockAcrossAwait",
+    "TaskLeak",
+    "SharedFleetMutation",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_NESTED = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def _own_nodes(func: FunctionNode) -> Iterator[ast.AST]:
+    """Every node of a function's own body, nested scopes excluded."""
+    stack: List[ast.AST] = [
+        s for s in func.body if not isinstance(s, _NESTED)
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED):
+                continue
+            stack.append(child)
+
+
+def _own_calls(func: FunctionNode) -> Iterator[ast.Call]:
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _text(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` source text of a Name/Attribute chain (else None)."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _load_names(func: FunctionNode) -> Set[str]:
+    """Names read anywhere in the function's own body."""
+    return {
+        node.id
+        for node in _own_nodes(func)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+# ---------------------------------------------------------------------------
+# blocking-call-in-async
+# ---------------------------------------------------------------------------
+
+#: callables that block the event loop, by resolved dotted name
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "open",
+        "io.open",
+    }
+)
+_BLOCKING_PREFIXES = (
+    "socket.",
+    "subprocess.",
+    "urllib.request.",
+    "http.client.",
+    "requests.",
+)
+
+
+def _blocking_reason(dotted: Optional[str]) -> Optional[str]:
+    """The blocking callable named by a resolved dotted path, if any."""
+    if dotted is None:
+        return None
+    if dotted in _BLOCKING_EXACT:
+        return dotted
+    for prefix in _BLOCKING_PREFIXES:
+        if dotted.startswith(prefix):
+            return dotted
+    return None
+
+
+def _resolve_written(info: ModuleInfo, dotted: str) -> str:
+    """Expand a call target as written through the module's bindings
+    (same resolution the project call graph applies) — unlike
+    ``FileContext.dotted_name`` this follows *relative* imports too."""
+    head, _, rest = dotted.partition(".")
+    bound = info.bindings.get(head)
+    if bound is not None:
+        return f"{bound}.{rest}" if rest else bound
+    if info.has_symbol(head):
+        return f"{info.name}.{dotted}"
+    return dotted
+
+
+def _project_target(
+    ctx: FileContext, call: ast.Call
+) -> Optional[Tuple[ModuleInfo, FunctionInfo]]:
+    """Resolve a call site to its project-graph function definition."""
+    if ctx.project is None or ctx.project.graph is None:
+        return None
+    modname = module_name_for(ctx.module)
+    if modname is None:
+        return None
+    graph = ctx.project.graph
+    raw = _text(call.func)
+    if raw is None:
+        return None
+    info = graph.modules.get(modname)
+    resolved = (
+        _resolve_written(info, raw) if info is not None else raw
+    )
+    return graph.resolve_call_target(modname, resolved)
+
+
+def _blocking_index(project: ProjectContext) -> Dict[str, Tuple[str, ...]]:
+    """Sync module-level functions that (transitively) block.
+
+    Maps ``module.function`` keys to the call chain that reaches the
+    blocking leaf, e.g. ``("_flush", "time.sleep")``. Built once per
+    lint run and cached on the project context; async functions are
+    excluded — each coroutine gets its own direct findings.
+    """
+    cached = getattr(project, "_async_blocking_index", None)
+    if cached is not None:
+        return dict(cached)
+    graph = project.graph
+    index: Dict[str, Tuple[str, ...]] = {}
+    edges: Dict[str, Set[str]] = {}
+    if graph is not None:
+        for info in graph.modules.values():
+            for stmt in info.ctx.tree.body:
+                if not isinstance(stmt, ast.FunctionDef):
+                    continue
+                key = f"{info.name}.{stmt.name}"
+                callees: Set[str] = set()
+                for call in _own_calls(stmt):
+                    dotted = _text(call.func)
+                    if dotted is None:
+                        continue
+                    resolved = _resolve_written(info, dotted)
+                    reason = _blocking_reason(resolved)
+                    if reason is not None and key not in index:
+                        index[key] = (reason,)
+                    target = graph.resolve_call_target(
+                        info.name, resolved
+                    )
+                    if target is not None and not target[1].is_async:
+                        callees.add(
+                            f"{target[0].name}.{target[1].name}"
+                        )
+                edges[key] = callees
+        # propagate taint caller-ward until a fixed point
+        changed = True
+        while changed:
+            changed = False
+            for key, callees in edges.items():
+                if key in index:
+                    continue
+                for callee in callees:
+                    chain = index.get(callee)
+                    if chain is not None:
+                        short = callee.rsplit(".", 1)[-1]
+                        index[key] = (short, *chain)
+                        changed = True
+                        break
+    setattr(project, "_async_blocking_index", index)
+    return index
+
+
+@rule("blocking-call-in-async")
+class BlockingCallInAsync(FileRule):
+    """Event-loop-blocking call reachable from a coroutine."""
+
+    description = (
+        "coroutines must not call blocking APIs (time.sleep, socket, "
+        "subprocess, file I/O) — directly or through sync helpers; "
+        "use the async equivalent or an executor hop"
+    )
+    node_types = (ast.AsyncFunctionDef,)
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("src/repro/")
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.AsyncFunctionDef)
+        index: Dict[str, Tuple[str, ...]] = (
+            _blocking_index(ctx.project)
+            if ctx.project is not None
+            else {}
+        )
+        for call in _own_calls(node):
+            dotted = ctx.dotted_name(call.func)
+            reason = _blocking_reason(dotted)
+            if reason is not None:
+                yield ctx.finding(
+                    self.id,
+                    call,
+                    f"blocking call `{reason}` in coroutine "
+                    f"{node.name!r} stalls the event loop; use the "
+                    "async equivalent (await asyncio.sleep, asyncio "
+                    "streams) or hand it to an executor "
+                    "(asyncio.to_thread / loop.run_in_executor)",
+                )
+                continue
+            target = _project_target(ctx, call)
+            if target is None or target[1].is_async:
+                continue
+            key = f"{target[0].name}.{target[1].name}"
+            chain = index.get(key)
+            if chain is not None:
+                path = " -> ".join([target[1].name, *chain])
+                yield ctx.finding(
+                    self.id,
+                    call,
+                    f"coroutine {node.name!r} reaches blocking "
+                    f"`{chain[-1]}` through sync calls ({path}); "
+                    "make the chain async or hop to an executor",
+                )
+
+
+# ---------------------------------------------------------------------------
+# unawaited-coroutine
+# ---------------------------------------------------------------------------
+
+
+@rule("unawaited-coroutine")
+class UnawaitedCoroutine(FileRule):
+    """Coroutine object created but never awaited or scheduled."""
+
+    description = (
+        "a coroutine call whose result is neither awaited, gathered, "
+        "nor stored as a task never runs its body"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def __init__(self) -> None:
+        self._async_names: Optional[Set[str]] = None
+
+    def _local_async(self, ctx: FileContext) -> Set[str]:
+        if self._async_names is None:
+            self._async_names = {
+                node.name
+                for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.AsyncFunctionDef)
+            }
+        return self._async_names
+
+    def _is_coroutine_call(
+        self, call: ast.Call, ctx: FileContext
+    ) -> bool:
+        dotted = ctx.dotted_name(call.func)
+        if dotted is None:
+            return False
+        parts = dotted.split(".")
+        local = self._local_async(ctx)
+        if len(parts) == 1 and parts[0] in local:
+            return True
+        if (
+            len(parts) == 2
+            and parts[0] in ("self", "cls")
+            and parts[1] in local
+        ):
+            return True
+        target = _project_target(ctx, call)
+        return target is not None and target[1].is_async
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        loads = _load_names(node)
+        for stmt in _own_nodes(node):
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Call
+            ):
+                if self._is_coroutine_call(stmt.value, ctx):
+                    name = ctx.dotted_name(stmt.value.func) or "?"
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        f"coroutine `{name}(...)` is never awaited — "
+                        "its body will not run; await it or wrap it "
+                        "in asyncio.create_task",
+                    )
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                target = stmt.targets[0]
+                if target.id in loads:
+                    continue
+                if self._is_coroutine_call(stmt.value, ctx):
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        f"coroutine assigned to {target.id!r} but the "
+                        "name is never read — the coroutine is never "
+                        "awaited",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# lock-across-await
+# ---------------------------------------------------------------------------
+
+#: constructors whose result is a mutual-exclusion primitive
+_LOCK_FACTORIES = frozenset(
+    {
+        "asyncio.Lock",
+        "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+        "asyncio.Condition",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.Condition",
+    }
+)
+
+#: annotation texts marking a parameter as a lock
+_LOCK_ANNOTATIONS = frozenset(
+    {"Lock", "asyncio.Lock", "threading.Lock", "RLock", "Semaphore"}
+)
+
+
+def _lockish(text: Optional[str], declared: FrozenSet[str]) -> bool:
+    """Whether an expression names a lock: declared, or lock-named."""
+    if text is None:
+        return False
+    if text in declared:
+        return True
+    tail = text.rsplit(".", 1)[-1].lower()
+    return "lock" in tail or "mutex" in tail
+
+
+def _declared_locks(ctx: FileContext, func: FunctionNode) -> FrozenSet[str]:
+    """Lock expressions visible in ``func``: ``self.X`` attributes
+    assigned a lock factory anywhere in the file, locals assigned one
+    in this function, and parameters annotated as locks."""
+    names: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        dotted = ctx.dotted_name(node.value.func)
+        if dotted not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            text = _text(target)
+            if text is not None:
+                names.add(text)
+    for arg in [*func.args.posonlyargs, *func.args.args]:
+        if arg.annotation is None:
+            continue
+        ann = _text(arg.annotation) or ""
+        if ann in _LOCK_ANNOTATIONS:
+            names.add(arg.arg)
+    return frozenset(names)
+
+
+class _HeldLocks(ForwardAnalysis[FrozenSet[str]]):
+    """Forward may-analysis: which locks may be held at each point."""
+
+    def __init__(self, declared: FrozenSet[str]) -> None:
+        self.declared = declared
+
+    def initial(self, cfg: CFG) -> FrozenSet[str]:
+        return frozenset()
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(
+        self, a: FrozenSet[str], b: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        return a | b
+
+    def _with_locks(
+        self, node: Union[ast.With, ast.AsyncWith]
+    ) -> Set[str]:
+        out: Set[str] = set()
+        for item in node.items:
+            text = _text(item.context_expr)
+            if _lockish(text, self.declared):
+                assert text is not None
+                out.add(text)
+        return out
+
+    def transfer(
+        self, fact: FrozenSet[str], unit: Unit
+    ) -> FrozenSet[str]:
+        if isinstance(unit, WithExit):
+            return fact - self._with_locks(unit.node)
+        if isinstance(unit, (ast.With, ast.AsyncWith)):
+            return fact | self._with_locks(unit)
+        # terminator units carry their whole body in the AST node;
+        # only the header expression executes in this block
+        scan: ast.AST
+        if isinstance(unit, (ast.If, ast.While)):
+            scan = unit.test
+        elif isinstance(unit, (ast.For, ast.AsyncFor)):
+            scan = unit.iter
+        elif isinstance(unit, ast.Try):
+            return fact
+        else:
+            scan = unit
+        held = set(fact)
+        for node in walk_function_body(scan):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = _text(func.value)
+            if not _lockish(owner, self.declared):
+                continue
+            assert owner is not None
+            if func.attr == "acquire":
+                held.add(owner)
+            elif func.attr == "release":
+                held.discard(owner)
+        return frozenset(held)
+
+
+def _unit_suspends(unit: Unit) -> bool:
+    """Whether executing this unit may yield to the event loop.
+
+    ``WithExit`` is deliberately ``False``: the ``__aexit__`` await of
+    an ``async with lock`` *is* the release, not a held-across point.
+    """
+    if isinstance(unit, WithExit):
+        return False
+    if isinstance(unit, (ast.AsyncFor, ast.AsyncWith)):
+        return True
+    if isinstance(unit, (ast.If, ast.While)):
+        return contains_suspension(unit.test)
+    if isinstance(unit, ast.For):
+        return contains_suspension(unit.iter)
+    if isinstance(unit, (ast.Try, ast.With)):
+        return False
+    return contains_suspension(unit)
+
+
+@rule("lock-across-await")
+class LockAcrossAwait(FileRule):
+    """Lock held over a suspension point (dataflow-checked)."""
+
+    description = (
+        "an asyncio/threading lock held across an await suspends the "
+        "whole critical section while other coroutines run — release "
+        "before suspending or narrow the critical section"
+    )
+    node_types = (ast.AsyncFunctionDef,)
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.AsyncFunctionDef)
+        declared = _declared_locks(ctx, node)
+        analysis = _HeldLocks(declared)
+        # cheap prescan: anything lock-ish mentioned at all?
+        if not any(
+            _lockish(_text(sub), declared)
+            for sub in _own_nodes(node)
+            if isinstance(sub, (ast.Name, ast.Attribute))
+        ):
+            return
+        cfg = build_cfg(node)
+        entry = solve_forward(cfg, analysis)
+        for block in cfg.blocks:
+            for fact, unit in unit_facts(
+                analysis, cfg, block.idx, entry[block.idx]
+            ):
+                if not fact or not _unit_suspends(unit):
+                    continue
+                assert not isinstance(unit, WithExit)
+                held = ", ".join(sorted(fact))
+                yield ctx.finding(
+                    self.id,
+                    unit,
+                    f"lock(s) {held} held across a suspension point "
+                    f"in coroutine {node.name!r}; the event loop may "
+                    "interleave arbitrary coroutines while the lock "
+                    "is held",
+                )
+
+
+# ---------------------------------------------------------------------------
+# task-leak
+# ---------------------------------------------------------------------------
+
+_SPAWN_EXACT = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future"}
+)
+_SPAWN_TAILS = (".create_task", ".ensure_future")
+
+
+def _taskgroup_names(func: FunctionNode) -> Set[str]:
+    """Names bound by ``async with asyncio.TaskGroup() as tg`` — the
+    group owns its tasks, so dropped handles are fine."""
+    out: Set[str] = set()
+    for node in _own_nodes(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            if not isinstance(item.context_expr, ast.Call):
+                continue
+            text = _text(item.context_expr.func) or ""
+            if text.endswith("TaskGroup") and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                out.add(item.optional_vars.id)
+    return out
+
+
+@rule("task-leak")
+class TaskLeak(FileRule):
+    """``create_task`` handle dropped — uncancellable, unjoinable."""
+
+    description = (
+        "a task whose handle is dropped cannot be cancelled on "
+        "shutdown and its exceptions vanish; keep the handle (or use "
+        "a TaskGroup)"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def _is_spawn(
+        self, call: ast.Call, ctx: FileContext, exempt: Set[str]
+    ) -> bool:
+        dotted = ctx.dotted_name(call.func)
+        if dotted is None:
+            return False
+        if dotted in _SPAWN_EXACT:
+            return True
+        head = dotted.split(".", 1)[0]
+        if head in exempt:
+            return False
+        return any(dotted.endswith(t) for t in _SPAWN_TAILS)
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        exempt = _taskgroup_names(node)
+        loads = _load_names(node)
+        for stmt in _own_nodes(node):
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Call
+            ):
+                if self._is_spawn(stmt.value, ctx, exempt):
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        "task handle dropped at creation; store it "
+                        "so shutdown can cancel/await it",
+                    )
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and self._is_spawn(stmt.value, ctx, exempt)
+            ):
+                target = stmt.targets[0]
+                if target.id not in loads:
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        f"task handle {target.id!r} is never read — "
+                        "the task cannot be cancelled or awaited",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# shared-fleet-mutation
+# ---------------------------------------------------------------------------
+
+#: FleetStore columns whose lifecycle the registry owns
+_FLEET_COLUMNS = frozenset(
+    {"alive", "battery_j", "capacity_j", "data_size", "class_id"}
+)
+#: constructors producing a FleetStore
+_FLEET_FACTORIES = ("FleetStore", "synthetic_fleet")
+#: the one class allowed to write fleet columns
+_FLEET_OWNER = "DeviceRegistry"
+
+
+def _is_fleet_source(value: ast.expr, fact: FrozenSet[str]) -> bool:
+    """Whether an assigned expression may be a FleetStore."""
+    if isinstance(value, ast.Name):
+        return value.id in fact
+    text = _text(value)
+    if text is not None and (
+        text == "fleet" or text.endswith(".fleet")
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        func_text = _text(value.func) or ""
+        return any(
+            func_text == name or func_text.endswith(f".{name}")
+            for name in _FLEET_FACTORIES
+        )
+    return False
+
+
+class _FleetAliases(ForwardAnalysis[FrozenSet[str]]):
+    """Forward alias analysis: locals that may name the shared fleet."""
+
+    def __init__(self, seed: FrozenSet[str]) -> None:
+        self.seed = seed
+
+    def initial(self, cfg: CFG) -> FrozenSet[str]:
+        return self.seed
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(
+        self, a: FrozenSet[str], b: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        return a | b
+
+    def transfer(
+        self, fact: FrozenSet[str], unit: Unit
+    ) -> FrozenSet[str]:
+        if isinstance(unit, WithExit):
+            return fact
+        out = set(fact)
+        if isinstance(unit, ast.Assign):
+            names = [
+                t.id
+                for t in unit.targets
+                if isinstance(t, ast.Name)
+            ]
+            if names:
+                if _is_fleet_source(unit.value, fact):
+                    out.update(names)
+                else:
+                    out.difference_update(names)
+        elif isinstance(unit, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(unit.target):
+                if isinstance(sub, ast.Name):
+                    out.discard(sub.id)
+        elif isinstance(unit, (ast.With, ast.AsyncWith)):
+            for item in unit.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    out.discard(item.optional_vars.id)
+        return frozenset(out)
+
+
+def _fleet_base(expr: ast.expr, fact: FrozenSet[str]) -> Optional[str]:
+    """The fleet expression behind a column access base, if any."""
+    if isinstance(expr, ast.Name) and expr.id in fact:
+        return expr.id
+    text = _text(expr)
+    if text is not None and (
+        text == "fleet" or text.endswith(".fleet")
+    ):
+        return text
+    return None
+
+
+def _column_store(
+    target: ast.expr, fact: FrozenSet[str]
+) -> Optional[Tuple[str, str]]:
+    """(fleet expr, column) when ``target`` writes a fleet column."""
+    # fleet.col[i] = v  (element store)
+    if isinstance(target, ast.Subscript) and isinstance(
+        target.value, ast.Attribute
+    ):
+        attr = target.value
+        if attr.attr in _FLEET_COLUMNS:
+            base = _fleet_base(attr.value, fact)
+            if base is not None:
+                return (base, attr.attr)
+    # fleet.col = v  (whole-column rebind)
+    if isinstance(target, ast.Attribute) and (
+        target.attr in _FLEET_COLUMNS
+    ):
+        base = _fleet_base(target.value, fact)
+        if base is not None:
+            return (base, target.attr)
+    return None
+
+
+@rule("shared-fleet-mutation")
+class SharedFleetMutation(FileRule):
+    """Fleet column written outside the registry's ownership seam."""
+
+    description = (
+        "FleetStore columns are owned by DeviceRegistry — serve code "
+        "elsewhere must go through registry/fleet methods, not write "
+        "columns directly (alias-tracked)"
+    )
+    node_types = (
+        ast.ClassDef,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+
+    def __init__(self) -> None:
+        #: (class name, first line, last line) seen so far in the walk
+        self._classes: List[Tuple[str, int, int]] = []
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("src/repro/serve/")
+
+    def _enclosing_class(self, lineno: int) -> Optional[str]:
+        best: Optional[Tuple[int, str]] = None
+        for name, start, end in self._classes:
+            if start <= lineno <= end:
+                if best is None or start > best[0]:
+                    best = (start, name)
+        return best[1] if best is not None else None
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.ClassDef):
+            self._classes.append(
+                (node.name, node.lineno, node.end_lineno or node.lineno)
+            )
+            return
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        if self._enclosing_class(node.lineno) == _FLEET_OWNER:
+            return
+        # cheap prescan: any owned column name mentioned at all?
+        if not any(
+            isinstance(sub, ast.Attribute)
+            and sub.attr in _FLEET_COLUMNS
+            for sub in _own_nodes(node)
+        ):
+            return
+        seed = frozenset(
+            arg.arg
+            for arg in [
+                *node.args.posonlyargs,
+                *node.args.args,
+            ]
+            if arg.arg == "fleet"
+            or (
+                arg.annotation is not None
+                and (_text(arg.annotation) or "").endswith("FleetStore")
+            )
+        )
+        analysis = _FleetAliases(seed)
+        cfg = build_cfg(node)
+        entry = solve_forward(cfg, analysis)
+        for block in cfg.blocks:
+            for fact, unit in unit_facts(
+                analysis, cfg, block.idx, entry[block.idx]
+            ):
+                if isinstance(unit, WithExit):
+                    continue
+                targets: List[ast.expr] = []
+                if isinstance(unit, ast.Assign):
+                    targets = list(unit.targets)
+                elif isinstance(unit, ast.AugAssign):
+                    targets = [unit.target]
+                for target in targets:
+                    hit = _column_store(target, fact)
+                    if hit is None:
+                        continue
+                    base, column = hit
+                    yield ctx.finding(
+                        self.id,
+                        unit,
+                        f"write to FleetStore column {column!r} via "
+                        f"`{base}` outside {_FLEET_OWNER} — route the "
+                        "mutation through the registry (it owns the "
+                        "lifecycle columns)",
+                    )

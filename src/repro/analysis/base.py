@@ -102,9 +102,14 @@ class FileContext:
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    self.imports[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name
-                    )
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # `import a.b` binds `a`; the written attribute
+                        # chain already spells the submodule, so mapping
+                        # `a -> a.b` would duplicate the `b` segment.
+                        head = alias.name.split(".")[0]
+                        self.imports[head] = head
             elif isinstance(node, ast.ImportFrom) and node.module:
                 for alias in node.names:
                     self.from_imports[alias.asname or alias.name] = (

@@ -11,6 +11,10 @@ not depend on intent:
   ``time.perf_counter_ns()`` (same shape, monotonic);
 * ``event-schema-sync`` — event classes missing from the events
   module's ``__all__`` are appended to the list.
+* ``blocking-call-in-async`` — a bare ``time.sleep(...)`` statement
+  inside a coroutine becomes ``await asyncio.sleep(...)`` (importing
+  ``asyncio`` if needed); only the statement form is rewritten — a
+  ``time.sleep`` nested in an expression needs a human.
 
 Design rules that make ``--fix`` safe:
 
@@ -41,6 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from .asyncrules import BlockingCallInAsync
 from .base import FileContext
 from .rules import EventSchemaSync, NoUnseededRng, NoWallClock
 
@@ -57,6 +62,7 @@ FIXABLE_RULES: Tuple[str, ...] = (
     "no-unseeded-rng",
     "no-wall-clock",
     "event-schema-sync",
+    "blocking-call-in-async",
 )
 
 #: single-line text replacement: (1-based line, col start, col end, new)
@@ -249,10 +255,98 @@ def _fix_missing_all(source: str, module: str) -> Tuple[str, int]:
     return "".join(lines), len(missing)
 
 
+def _fix_blocking_sleep(source: str, module: str) -> Tuple[str, int]:
+    """Bare ``time.sleep(...)`` statements in coroutines become
+    ``await asyncio.sleep(...)``, importing ``asyncio`` if needed.
+
+    Only the statement form ``time.sleep(x)`` is rewritten — same
+    shape, loop-friendly semantics. A sleep nested inside another
+    expression (or assigned) is left for a human. Idempotent: the
+    rewritten statement is an ``await`` expression, which no longer
+    matches the scan.
+    """
+    rule = BlockingCallInAsync()
+    if not rule.applies_to(module):
+        return source, 0
+    tree = ast.parse(source, filename=module)
+    ctx = FileContext(module=module, source=source, tree=tree)
+    edits: List[_Edit] = []
+    nested = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.Lambda,
+        ast.ClassDef,
+    )
+    for func in ast.walk(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        # own body only: a sleep inside a nested sync def must not
+        # gain an await, and nested async defs are walked separately
+        stack: List[ast.AST] = [
+            s for s in func.body if not isinstance(s, nested)
+        ]
+        own: List[ast.AST] = []
+        while stack:
+            sub = stack.pop()
+            own.append(sub)
+            stack.extend(
+                c
+                for c in ast.iter_child_nodes(sub)
+                if not isinstance(c, nested)
+            )
+        for node in own:
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            if ctx.dotted_name(call.func) != "time.sleep":
+                continue
+            if ctx.suppressed(node.lineno, rule.id):
+                continue
+            func_node = call.func
+            end_line = func_node.end_lineno or func_node.lineno
+            if end_line != func_node.lineno:
+                continue  # callee split over lines; leave it to a human
+            start = func_node.col_offset
+            end = func_node.end_col_offset or start
+            line = (
+                ctx.lines[end_line - 1]
+                if end_line <= len(ctx.lines)
+                else ""
+            )
+            if not line[start:end]:
+                continue
+            edits.append(
+                (end_line, start, end, "await asyncio.sleep")
+            )
+    if not edits:
+        return source, 0
+    fixed = _apply_edits(source, edits)
+    if "asyncio" not in ctx.imports and "asyncio" not in {
+        mod for mod, _ in ctx.from_imports.values()
+    }:
+        lines = fixed.splitlines(keepends=True)
+        anchor = 0
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                anchor = stmt.end_lineno or stmt.lineno
+        if anchor == 0 and tree.body:
+            first = tree.body[0]
+            if isinstance(first, ast.Expr) and isinstance(
+                first.value, ast.Constant
+            ):
+                anchor = first.end_lineno or first.lineno
+        lines[anchor:anchor] = ["import asyncio\n"]
+        fixed = "".join(lines)
+    return fixed, len(edits)
+
+
 _FIXERS: Tuple[Callable[[str, str], Tuple[str, int]], ...] = (
     _fix_unseeded_rng,
     _fix_wall_clock,
     _fix_missing_all,
+    _fix_blocking_sleep,
 )
 
 

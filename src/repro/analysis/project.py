@@ -112,6 +112,9 @@ class FunctionInfo:
     has_kwarg: bool = False
     #: source text of the return annotation, if any
     returns: Optional[str] = None
+    #: whether the definition is ``async def`` (calling it makes a
+    #: coroutine — the async-safety rules key off this)
+    is_async: bool = False
 
     @property
     def required_params(self) -> Tuple[str, ...]:
@@ -211,6 +214,7 @@ def _function_info(
         has_vararg=args.vararg is not None,
         has_kwarg=args.kwarg is not None,
         returns=returns,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
     )
 
 

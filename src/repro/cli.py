@@ -499,19 +499,35 @@ def cmd_obs_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _git_changed_files(root: Path) -> "List[str] | None":
+def _git_changed_files(
+    root: Path, base: "str | None" = None
+) -> "List[str] | None":
     """Repo-relative paths touched vs HEAD (staged, unstaged and
-    untracked); None when git is unavailable or errors."""
+    untracked); None when git is unavailable or errors.
+
+    With ``base`` (e.g. ``origin/main``), committed changes since the
+    merge base are included too — ``base...HEAD`` is the PR diff CI
+    feeds to ``repro lint --changed --base``.
+    """
     import subprocess
 
-    changed: List[str] = []
-    for cmd in (
+    commands = [
         ["git", "-C", str(root), "diff", "--name-only", "HEAD"],
         [
             "git", "-C", str(root), "ls-files",
             "--others", "--exclude-standard",
         ],
-    ):
+    ]
+    if base is not None:
+        commands.insert(
+            0,
+            [
+                "git", "-C", str(root), "diff", "--name-only",
+                f"{base}...HEAD",
+            ],
+        )
+    changed: List[str] = []
+    for cmd in commands:
         try:
             out = subprocess.run(
                 cmd, capture_output=True, text=True, check=True
@@ -522,6 +538,30 @@ def _git_changed_files(root: Path) -> "List[str] | None":
             line.strip() for line in out.splitlines() if line.strip()
         )
     return sorted(set(changed))
+
+
+def cmd_bench_lint(args: argparse.Namespace) -> int:
+    """Benchmark the lint pipeline; optionally write BENCH_lint.json."""
+    from .analysis.bench import (
+        bench_lint,
+        format_bench_lint,
+        write_bench_lint,
+    )
+
+    root = Path(args.root).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(
+            f"error: {root} does not look like a repo checkout "
+            "(no src/repro); pass --root",
+            file=sys.stderr,
+        )
+        return 2
+    bench = bench_lint(root)
+    print(format_bench_lint(bench))
+    if args.out:
+        write_bench_lint(bench, Path(args.out))
+        print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -571,7 +611,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     only_paths = None
     if args.changed:
-        only_paths = _git_changed_files(root)
+        only_paths = _git_changed_files(root, base=args.base)
         if only_paths is None:
             print(
                 "error: --changed needs a git checkout (git diff "
@@ -969,6 +1009,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bfleet.set_defaults(func=cmd_bench_fleet)
 
+    p_blint = bench_sub.add_parser(
+        "lint",
+        help="time the lint pipeline per rule (writes BENCH_lint.json "
+        "with --out)",
+    )
+    p_blint.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    p_blint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON document (BENCH_lint.json schema)",
+    )
+    p_blint.set_defaults(func=cmd_bench_lint)
+
     p_obs = sub.add_parser(
         "obs",
         help="observability over saved telemetry (repro.obs)",
@@ -1074,6 +1132,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report findings only for git-changed files (the whole "
         "project graph is still analysed)",
+    )
+    p_lint.add_argument(
+        "--base",
+        default=None,
+        metavar="REF",
+        help="with --changed: also include files committed since the "
+        "merge base with REF (e.g. origin/main — the PR-diff mode CI "
+        "uses)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

@@ -1,0 +1,18 @@
+"""Bad: coroutines calling event-loop-blocking APIs directly."""
+
+import time
+import urllib.request
+
+
+async def pump(interval_s):
+    while True:
+        time.sleep(interval_s)
+
+
+async def fetch(url):
+    return urllib.request.urlopen(url)
+
+
+async def snapshot(path):
+    with open(path) as fh:
+        return fh.read()

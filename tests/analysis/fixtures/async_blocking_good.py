@@ -1,0 +1,25 @@
+"""Good: async equivalents, and blocking work behind an executor hop.
+
+The executor forms pass the blocking callable as a *reference* —
+nothing blocking is called on the event loop itself.
+"""
+
+import asyncio
+import urllib.request
+
+
+async def pump(interval_s):
+    while True:
+        await asyncio.sleep(interval_s)
+
+
+async def fetch(url):
+    return await asyncio.to_thread(fetch_one, url)
+
+
+async def fetch_via_loop(loop, url):
+    return await loop.run_in_executor(None, fetch_one, url)
+
+
+def fetch_one(url):
+    return urllib.request.urlopen(url)

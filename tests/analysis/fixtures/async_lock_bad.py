@@ -1,0 +1,27 @@
+"""Bad: a serve-shaped registry that suspends while holding its lock.
+
+Statement-for-statement this is the same code as the good twin —
+only the ORDER differs, so an AST-level (flow-insensitive) check
+cannot tell them apart.
+"""
+
+import asyncio
+
+
+class DeviceLedger:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._round = 0
+
+    async def advance(self, settle_s):
+        await self._lock.acquire()
+        self._round += 1
+        await asyncio.sleep(settle_s)  # suspends with the lock held
+        self._lock.release()
+        return self._round
+
+    async def drain(self, queue):
+        async with self._lock:
+            self._round += 1
+            item = await queue.get()  # every waiter stalls behind us
+        return item

@@ -1,0 +1,26 @@
+"""Good: the same registry, releasing its lock before any suspension.
+
+Same statements as the bad twin, reordered so no await happens
+inside the critical section.
+"""
+
+import asyncio
+
+
+class DeviceLedger:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._round = 0
+
+    async def advance(self, settle_s):
+        await self._lock.acquire()
+        self._round += 1
+        self._lock.release()
+        await asyncio.sleep(settle_s)  # lock already released
+        return self._round
+
+    async def drain(self, queue):
+        async with self._lock:
+            self._round += 1
+        item = await queue.get()  # awaited outside the with block
+        return item  # same statements as the bad twin, reordered

@@ -1,0 +1,20 @@
+"""Bad: fire-and-forget tasks with no retained handle.
+
+The event loop keeps only a weak reference to tasks, so these can be
+garbage-collected mid-flight and their exceptions are never observed.
+"""
+
+import asyncio
+
+
+async def heartbeat(device_id):
+    return device_id
+
+
+async def launch(device_id):
+    asyncio.create_task(heartbeat(device_id))  # handle dropped
+
+
+async def launch_legacy(device_id):
+    task = asyncio.ensure_future(heartbeat(device_id))  # never read
+    return device_id

@@ -1,0 +1,24 @@
+"""Good: every spawned task is retained, awaited, or group-scoped."""
+
+import asyncio
+
+
+async def heartbeat(device_id):
+    return device_id
+
+
+async def launch(tasks, device_id):
+    task = asyncio.create_task(heartbeat(device_id))
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+
+
+async def launch_and_wait(device_id):
+    task = asyncio.create_task(heartbeat(device_id))
+    return await task
+
+
+async def launch_grouped(device_ids):
+    async with asyncio.TaskGroup() as tg:
+        for device_id in device_ids:
+            tg.create_task(heartbeat(device_id))

@@ -1,0 +1,15 @@
+"""Bad: coroutine objects created but never awaited or scheduled."""
+
+
+async def checkpoint(round_id):
+    return round_id
+
+
+async def run_round(round_id):
+    checkpoint(round_id)  # bare statement: body never runs
+    return round_id
+
+
+async def run_batch(round_id):
+    pending = checkpoint(round_id)  # assigned, then never read
+    return round_id

@@ -1,0 +1,22 @@
+"""Good: every coroutine object is awaited, gathered or scheduled."""
+
+import asyncio
+
+
+async def checkpoint(round_id):
+    return round_id
+
+
+async def run_round(round_id):
+    await checkpoint(round_id)
+    return round_id
+
+
+async def run_batch(round_ids):
+    pending = [checkpoint(r) for r in round_ids]
+    return await asyncio.gather(*pending)
+
+
+async def run_background(tasks, round_id):
+    handle = checkpoint(round_id)
+    tasks.append(asyncio.ensure_future(handle))

@@ -1,0 +1,18 @@
+"""Bad: serve-side code writing fleet columns outside DeviceRegistry.
+
+Direct column stores bypass the registry's bookkeeping and race with
+the control loop; the alias through a local name must still be caught.
+"""
+
+
+async def retire(registry, row):
+    registry.fleet.alive[row] = False  # direct column store
+
+
+async def drain_battery(registry, row, joules):
+    store = registry.fleet  # alias of the shared store
+    store.battery_j[row] = store.battery_j[row] - joules
+
+
+def reset_capacity(fleet, rows):
+    fleet.capacity_j = rows  # rebinding a column wholesale

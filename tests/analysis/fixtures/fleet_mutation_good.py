@@ -1,0 +1,22 @@
+"""Good: fleet columns are read freely; writes go through the registry."""
+
+
+class DeviceRegistry:
+    def __init__(self, fleet):
+        self.fleet = fleet
+
+    def retire(self, row):
+        self.fleet.alive[row] = False  # the registry owns its store
+
+    def drain_battery(self, row, joules):
+        self.fleet.battery_j[row] = self.fleet.battery_j[row] - joules
+
+
+async def survivors(registry):
+    return [row for row in range(registry.fleet.size) if registry.fleet.alive[row]]
+
+
+async def rebind_local(registry, other):
+    store = registry.fleet
+    store = other  # alias killed before the write
+    store.alive[0] = False

@@ -1,0 +1,153 @@
+"""Fixture-pair tests for the five flow-sensitive async-safety rules.
+
+Each rule has a ``*_bad.py`` fixture that must fire and a ``*_good.py``
+twin that must stay clean.  The lock pair is the seeded-bug demo: the
+two files contain the *same statements in a different order*, which is
+exactly the distinction an AST-level (flow-insensitive) matcher cannot
+draw — only the CFG/dataflow engine separates them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.asyncrules import (
+    BlockingCallInAsync,
+    LockAcrossAwait,
+    SharedFleetMutation,
+    TaskLeak,
+    UnawaitedCoroutine,
+)
+from repro.analysis.runner import lint_repo, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# (fixture stem, rule id, findings expected in the bad twin)
+PAIRS = [
+    ("async_blocking", BlockingCallInAsync.id, 3),
+    ("async_unawaited", UnawaitedCoroutine.id, 2),
+    ("async_lock", LockAcrossAwait.id, 2),
+    ("async_taskleak", TaskLeak.id, 2),
+    ("fleet_mutation", SharedFleetMutation.id, 3),
+]
+
+
+def _lint_fixture(stem: str, kind: str):
+    source = (FIXTURES / f"{stem}_{kind}.py").read_text()
+    module = f"src/repro/serve/{stem}_{kind}.py"
+    return source, lint_source(source, module)
+
+
+@pytest.mark.parametrize("stem,rule_id,count", PAIRS)
+def test_bad_fixture_fires(stem, rule_id, count):
+    _, findings = _lint_fixture(stem, "bad")
+    hits = [f for f in findings if f.rule_id == rule_id]
+    assert len(hits) == count, [f.message for f in findings]
+
+
+@pytest.mark.parametrize("stem,rule_id,count", PAIRS)
+def test_good_fixture_is_clean(stem, rule_id, count):
+    _, findings = _lint_fixture(stem, "good")
+    assert [f for f in findings if f.rule_id == rule_id] == []
+
+
+def test_lock_pair_differs_only_in_statement_order():
+    """The seeded-bug demo: same statement multiset, different verdict."""
+    bad, _ = _lint_fixture("async_lock", "bad")
+    good, _ = _lint_fixture("async_lock", "good")
+
+    def stmt_lines(src: str) -> list:
+        stripped = (
+            line.split("#")[0].strip() for line in src.splitlines()
+        )
+        return sorted(
+            line
+            for line in stripped
+            if line.startswith(
+                ("await", "self._round", "self._lock", "item =", "return")
+            )
+        )
+
+    assert stmt_lines(bad) == stmt_lines(good)
+
+
+def test_lock_finding_lands_on_the_suspension_point():
+    source, findings = _lint_fixture("async_lock", "bad")
+    hits = [f for f in findings if f.rule_id == LockAcrossAwait.id]
+    flagged = {source.splitlines()[f.line - 1].strip() for f in hits}
+    # the await under the held lock is flagged, not the acquire itself
+    assert any("asyncio.sleep" in line for line in flagged)
+    assert any("queue.get" in line for line in flagged)
+    assert not any(".acquire" in line for line in flagged)
+
+
+def test_inline_allow_suppresses_each_async_rule():
+    source = textwrap.dedent(
+        """
+        import asyncio
+        import time
+
+
+        async def slow():  # noqa: demo
+            time.sleep(1)  # lint: allow[blocking-call-in-async]
+            task = asyncio.create_task(slow())  # lint: allow[task-leak]
+        """
+    )
+    findings = lint_source(source, "src/repro/serve/demo.py")
+    assert [f for f in findings if f.rule_id == BlockingCallInAsync.id] == []
+    assert [f for f in findings if f.rule_id == TaskLeak.id] == []
+
+
+def test_rules_stay_out_of_scope_outside_src_repro():
+    source, _ = _lint_fixture("async_blocking", "bad")
+    findings = lint_source(source, "examples/scratch.py")
+    assert [f for f in findings if f.rule_id == BlockingCallInAsync.id] == []
+
+
+# ---------------------------------------------------------------------------
+# transitive blocking through the project call graph
+
+
+def test_blocking_call_is_reported_transitively(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "serve"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "io_helpers.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+
+            def backoff(delay_s):
+                time.sleep(delay_s)
+
+
+            def retry_forever(delay_s):
+                backoff(delay_s)
+            """
+        )
+    )
+    (pkg / "loop.py").write_text(
+        textwrap.dedent(
+            """
+            from .io_helpers import retry_forever
+
+
+            async def drive():
+                retry_forever(0.1)
+            """
+        )
+    )
+    report = lint_repo(tmp_path, use_baseline=False)
+    hits = [
+        f
+        for f in report.findings
+        if f.rule_id == BlockingCallInAsync.id
+    ]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("loop.py")
+    assert "retry_forever -> backoff -> time.sleep" in hits[0].message

@@ -1,0 +1,275 @@
+"""Golden tests for the per-function control-flow graphs.
+
+Each test parses a small function, builds its CFG and compares the
+deterministic :meth:`CFG.dump` text byte-for-byte against a golden
+captured here.  The shapes cover the lowering cases the async rule
+pack depends on: branches, nested loops with break/continue,
+try/except/finally, and async with / async for suspension edges.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    CFG,
+    SUSPENSION_NODES,
+    BasicBlock,
+    Edge,
+    build_cfg,
+    contains_suspension,
+    iter_function_cfgs,
+)
+
+# ---------------------------------------------------------------------------
+# sources
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+BRANCHY = """
+def branchy(x):
+    if x > 0:
+        y = x
+    else:
+        y = -x
+    return y
+"""
+
+BRANCHY_GOLDEN = """\
+cfg branchy
+B0 <entry>:
+  ? if x > 0
+  -> B3 [true]
+  -> B4 [false]
+B1 <exit>:
+B2 <if.after>:
+  return y
+  -> B1 [return]
+B3 <if.then>:
+  y = x
+  -> B2 [next]
+B4 <if.else>:
+  y = -x
+  -> B2 [next]
+B5 <dead>:
+  -> B1 [next]"""
+
+
+LOOPY = """
+def loopy(n):
+    total = 0
+    for i in range(n):
+        if i % 2:
+            continue
+        total += i
+    while total > 10:
+        total -= 1
+        if total == 42:
+            break
+    return total
+"""
+
+LOOPY_GOLDEN = """\
+cfg loopy
+B0 <entry>:
+  total = 0
+  -> B2 [next]
+B1 <exit>:
+B2 <for.head>:
+  ? for i in range(n)
+  -> B3 [false]
+  -> B4 [true]
+B3 <for.after>:
+  -> B8 [next]
+B4 <for.body>:
+  ? if i % 2
+  -> B5 [false]
+  -> B6 [true]
+B5 <if.after>:
+  total += i
+  -> B2 [loop]
+B6 <if.then>:
+  continue
+  -> B2 [continue]
+B7 <dead>:
+  -> B5 [next]
+B8 <while.head>:
+  ? while total > 10
+  -> B9 [false]
+  -> B10 [true]
+B9 <while.after>:
+  return total
+  -> B1 [return]
+B10 <while.body>:
+  total -= 1
+  ? if total == 42
+  -> B11 [false]
+  -> B12 [true]
+B11 <if.after>:
+  -> B8 [loop]
+B12 <if.then>:
+  break
+  -> B9 [break]
+B13 <dead>:
+  -> B11 [next]
+B14 <dead>:
+  -> B1 [next]"""
+
+
+GUARDED = """
+def guarded(path):
+    try:
+        fh = open(path)
+    except OSError:
+        return None
+    finally:
+        note()
+    return fh
+"""
+
+GUARDED_GOLDEN = """\
+cfg guarded
+B0 <entry>:
+  -> B3 [next]
+B1 <exit>:
+B2 <try.after>:
+  return fh
+  -> B1 [return]
+B3 <try.body>:
+  fh = open(path)
+  -> B4 [next]
+  -> B5 [except]
+B4 <try.finally>:
+  note()
+  -> B2 [finally]
+B5 <try.except>:
+  return None
+  -> B1 [return]
+B6 <dead>:
+  -> B4 [next]
+B7 <dead>:
+  -> B1 [next]"""
+
+
+SERVE_ROUND = """
+async def serve_round(lock, queue, stream):
+    async with lock:
+        batch = await queue.get()
+    async for extra in stream():
+        batch.append(extra)
+    return batch
+"""
+
+SERVE_ROUND_GOLDEN = """\
+cfg serve_round [async]
+B0 <entry>:
+  ? async with lock
+  -> B2 [with] !suspend
+B1 <exit>:
+B2 <with.body>:
+  batch = await queue.get()
+  -> B3 [next] !suspend
+B3 <resume>:
+  <exit with lock>
+  -> B4 [next] !suspend
+B4 <with.after>:
+  -> B5 [next]
+B5 <for.head>:
+  ? async for extra in stream()
+  -> B6 [false] !suspend
+  -> B7 [true] !suspend
+B6 <for.after>:
+  return batch
+  -> B1 [return]
+B7 <for.body>:
+  batch.append(extra)
+  -> B5 [loop]
+B8 <dead>:
+  -> B1 [next]"""
+
+
+# ---------------------------------------------------------------------------
+# golden dumps
+
+
+def test_branchy_golden():
+    assert _cfg(BRANCHY).dump() == BRANCHY_GOLDEN
+
+
+def test_loopy_golden():
+    assert _cfg(LOOPY).dump() == LOOPY_GOLDEN
+
+
+def test_guarded_golden():
+    assert _cfg(GUARDED).dump() == GUARDED_GOLDEN
+
+
+def test_serve_round_golden():
+    assert _cfg(SERVE_ROUND).dump() == SERVE_ROUND_GOLDEN
+
+
+# ---------------------------------------------------------------------------
+# structural properties
+
+
+def test_entry_and_exit_are_fixed_blocks():
+    cfg = _cfg(BRANCHY)
+    assert cfg.entry == 0
+    assert cfg.exit == 1
+    exit_block = cfg.blocks[cfg.exit]
+    assert isinstance(exit_block, BasicBlock)
+    assert exit_block.units == []
+
+
+def test_suspension_edges_only_on_async_constructs():
+    sync = _cfg(LOOPY)
+    assert sync.suspension_edges() == []
+    coro = _cfg(SERVE_ROUND)
+    kinds = sorted({e.kind for e in coro.suspension_edges()})
+    assert kinds == ["false", "next", "true", "with"]
+    for edge in coro.suspension_edges():
+        assert isinstance(edge, Edge) and edge.suspends
+
+
+def test_rpo_starts_at_entry_and_covers_reachable_blocks():
+    cfg = _cfg(LOOPY)
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    # every non-dead block is reachable from the entry
+    dead = {b.idx for b in cfg.blocks if b.label == "dead"}
+    assert set(order) == {b.idx for b in cfg.blocks} - dead
+
+
+def test_nested_defs_are_not_lowered_into_enclosing_cfg():
+    src = """
+    def outer():
+        def inner():
+            return 1
+        return inner
+    """
+    cfg = _cfg(src)
+    dump = cfg.dump()
+    assert "def inner" in dump  # the def statement itself is a unit
+    assert "return 1" not in dump  # but its body is a separate scope
+
+
+def test_iter_function_cfgs_yields_all_functions():
+    tree = ast.parse(
+        textwrap.dedent(BRANCHY) + textwrap.dedent(SERVE_ROUND)
+    )
+    names = [func.name for func, _ in iter_function_cfgs(tree)]
+    assert names == ["branchy", "serve_round"]
+
+
+def test_contains_suspension_matches_suspension_nodes():
+    expr = ast.parse("async def f():\n    await g()\n").body[0]
+    assert isinstance(expr, ast.AsyncFunctionDef)
+    assert contains_suspension(expr.body[0])
+    assert all(issubclass(n, ast.expr) for n in SUSPENSION_NODES)

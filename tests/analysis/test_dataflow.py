@@ -1,0 +1,162 @@
+"""Worklist-solver tests: convergence on cyclic CFGs and stock lattices."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import FrozenSet
+
+import pytest
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    MAX_ITERATIONS,
+    ForwardAnalysis,
+    MaySuspend,
+    ReachingDefinitions,
+    solve_forward,
+    unit_facts,
+)
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+
+
+def test_reaching_defs_joins_both_branch_bindings():
+    cfg = _cfg(
+        """
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+        """
+    )
+    rd = ReachingDefinitions(params=("x",))
+    entry = solve_forward(cfg, rd)
+    # the join block (if.after) sees both bindings of y, plus the param
+    after = next(b for b in cfg.blocks if b.label == "if.after")
+    names = sorted(entry[after.idx])
+    assert ("x", 0) in names
+    assert [n for n, _ in names].count("y") == 2
+
+
+def test_reaching_defs_converges_on_loop_and_kills_rebinding():
+    cfg = _cfg(
+        """
+        def f(n):
+            i = 0
+            while i < n:
+                i = i + 1
+            return i
+        """
+    )
+    entry = solve_forward(cfg, ReachingDefinitions(params=("n",)))
+    head = next(b for b in cfg.blocks if b.label == "while.head")
+    # both the init and the in-loop rebinding reach the loop head
+    i_defs = {ln for name, ln in entry[head.idx] if name == "i"}
+    assert len(i_defs) == 2
+    # but inside the body, after the rebinding executes, only one remains
+    body = next(b for b in cfg.blocks if b.label == "while.body")
+    facts = list(unit_facts(ReachingDefinitions(("n",)), cfg, body.idx, entry[body.idx]))
+    (before_rebind, rebind_stmt) = facts[0]
+    assert isinstance(rebind_stmt, ast.Assign)
+    after_rebind = ReachingDefinitions(("n",)).transfer(before_rebind, rebind_stmt)
+    assert len({ln for name, ln in after_rebind if name == "i"}) == 1
+
+
+# ---------------------------------------------------------------------------
+# may-suspend
+
+
+def test_may_suspend_is_false_before_and_true_after_await():
+    cfg = _cfg(
+        """
+        async def f(q):
+            x = 1
+            y = await q.get()
+            return x + y
+        """
+    )
+    entry = solve_forward(cfg, MaySuspend())
+    assert entry[cfg.entry] is False
+    # the block after the await (the resume block) has suspended
+    resume = next(b for b in cfg.blocks if b.label == "resume")
+    assert entry[resume.idx] is True
+
+
+def test_may_suspend_stays_false_in_sync_function():
+    cfg = _cfg(
+        """
+        def f(n):
+            total = 0
+            for i in range(n):
+                total += i
+            return total
+        """
+    )
+    entry = solve_forward(cfg, MaySuspend())
+    assert all(fact is False for fact in entry.values())
+
+
+# ---------------------------------------------------------------------------
+# solver behaviour
+
+
+class _Diverging(ForwardAnalysis[FrozenSet[int]]):
+    """Deliberately non-monotone: grows the fact on every transfer."""
+
+    def __init__(self) -> None:
+        self.tick = 0
+
+    def initial(self, cfg: CFG) -> FrozenSet[int]:
+        return frozenset()
+
+    def bottom(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[int], b: FrozenSet[int]) -> FrozenSet[int]:
+        return a | b
+
+    def transfer(self, fact: FrozenSet[int], unit: object) -> FrozenSet[int]:
+        self.tick += 1
+        return fact | {self.tick}
+
+
+def test_solver_caps_runaway_lattices():
+    cfg = _cfg(
+        """
+        def f(n):
+            while n:
+                n = n - 1
+        """
+    )
+    with pytest.raises(RuntimeError, match=str(MAX_ITERATIONS)):
+        solve_forward(cfg, _Diverging())
+
+
+def test_unit_facts_replays_transfer_through_a_block():
+    cfg = _cfg(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    rd = ReachingDefinitions()
+    entry = solve_forward(cfg, rd)
+    pairs = list(unit_facts(rd, cfg, cfg.entry, entry[cfg.entry]))
+    # before the first assign: nothing; before the second: {a}
+    assert pairs[0][0] == frozenset()
+    assert {name for name, _ in pairs[1][0]} == {"a"}
+    assert {name for name, _ in pairs[2][0]} == {"a", "b"}

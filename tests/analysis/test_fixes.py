@@ -18,6 +18,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 RNG_MODULE = "src/repro/device/rng.py"
 CLOCK_MODULE = "src/repro/engine/clock.py"
 EVENTS_MODULE = "src/repro/engine/events.py"
+SERVE_MODULE = "src/repro/serve/pump.py"
 
 
 def test_fixable_rules_are_registered_subset():
@@ -108,6 +109,38 @@ def test_fix_missing_all_single_line():
     assert "__all__ = [\"EngineEvent\", \"DoneEvent\"]" in fixed
 
 
+def test_fix_blocking_sleep_rewrites_and_imports_asyncio():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "async def pump(interval_s):\n"
+        "    time.sleep(interval_s)\n"
+    )
+    fixed, n = fix_source(source, SERVE_MODULE)
+    assert n >= 1
+    assert "await asyncio.sleep(interval_s)" in fixed
+    assert "import asyncio\n" in fixed
+    assert "time.sleep" not in fixed
+
+
+def test_fix_blocking_sleep_skips_nested_sync_defs():
+    # a time.sleep inside a nested *sync* def must not gain an await
+    source = (
+        "import asyncio\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "async def pump(loop):\n"
+        "    def blocking_tick():\n"
+        "        time.sleep(1)\n"
+        "    await loop.run_in_executor(None, blocking_tick)\n"
+    )
+    fixed, n = fix_source(source, SERVE_MODULE)
+    assert n == 0
+    assert fixed == source
+
+
 def test_fix_honours_inline_allow():
     source = (
         "import numpy as np\n"
@@ -132,6 +165,7 @@ def test_fixes_are_idempotent_on_bad_fixtures():
         ("rng_bad.py", RNG_MODULE),
         ("wall_clock_bad.py", CLOCK_MODULE),
         ("events_bad.py", EVENTS_MODULE),
+        ("async_blocking_bad.py", SERVE_MODULE),
     ]:
         source = (FIXTURES / fixture).read_text(encoding="utf-8")
         once, n1 = fix_source(source, module)

@@ -15,6 +15,13 @@ from repro.analysis import (
     lint_source,
     rule_class,
 )
+from repro.analysis.asyncrules import (
+    BlockingCallInAsync,
+    LockAcrossAwait,
+    SharedFleetMutation,
+    TaskLeak,
+    UnawaitedCoroutine,
+)
 from repro.analysis.rules import (
     DeadPublicApi,
     EventDispatchExhaustiveness,
@@ -35,9 +42,11 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 #: without extending this table (and the docs, see the drift test
 #: below) is a test failure by design
 EXPECTED_RULES = {
+    "blocking-call-in-async": BlockingCallInAsync,
     "dead-public-api": DeadPublicApi,
     "event-dispatch-exhaustiveness": EventDispatchExhaustiveness,
     "event-schema-sync": EventSchemaSync,
+    "lock-across-await": LockAcrossAwait,
     "metric-doc-drift": MetricDocDrift,
     "no-float-equality": NoFloatEquality,
     "no-python-loop-over-fleet": NoPythonLoopOverFleet,
@@ -45,6 +54,9 @@ EXPECTED_RULES = {
     "no-wall-clock": NoWallClock,
     "registry-doc-drift": RegistryDocDrift,
     "scheduler-contract": SchedulerContract,
+    "shared-fleet-mutation": SharedFleetMutation,
+    "task-leak": TaskLeak,
+    "unawaited-coroutine": UnawaitedCoroutine,
     "unit-consistency": UnitConsistency,
 }
 

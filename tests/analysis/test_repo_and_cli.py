@@ -18,6 +18,7 @@ BAD_FIXTURES = [
     ("wall_clock_bad.py", "src/repro/engine/wall_clock_bad.py"),
     ("float_eq_bad.py", "src/repro/core/float_eq_bad.py"),
     ("events_bad.py", "src/repro/engine/events.py"),
+    ("async_lock_bad.py", "src/repro/serve/ledger.py"),
 ]
 
 
@@ -121,6 +122,34 @@ def test_cli_changed_scopes_reporting_to_dirty_files(tmp_path, capsys):
     fresh = pkg / "new_clock.py"
     fresh.write_text("import time\nU = time.time()\n", encoding="utf-8")
     assert main(["lint", "--root", str(tmp_path), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "new_clock" in out
+    assert "old_clock" not in out
+
+
+def test_cli_changed_base_diffs_against_merge_base(tmp_path, capsys):
+    """--changed --base REF scopes to files changed since REF — the
+    CI PR job's view — even when the working tree itself is clean."""
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    old = pkg / "old_clock.py"
+    old.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    git(tmp_path, "init", "-q", "-b", "main")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+
+    git(tmp_path, "checkout", "-qb", "feature")
+    new = pkg / "new_clock.py"
+    new.write_text("import time\nU = time.time()\n", encoding="utf-8")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "add clock")
+
+    # committed on the branch => plain --changed sees a clean tree...
+    assert main(["lint", "--root", str(tmp_path), "--changed"]) == 0
+    capsys.readouterr()
+    # ...but diffing against main scopes to the branch's files
+    args = ["lint", "--root", str(tmp_path), "--changed", "--base", "main"]
+    assert main(args) == 1
     out = capsys.readouterr().out
     assert "new_clock" in out
     assert "old_clock" not in out

@@ -21,6 +21,7 @@ BAD_FIXTURES = [
     ("wall_clock_bad.py", "src/repro/engine/wall_clock_bad.py"),
     ("float_eq_bad.py", "src/repro/core/float_eq_bad.py"),
     ("events_bad.py", "src/repro/engine/events.py"),
+    ("async_lock_bad.py", "src/repro/serve/ledger.py"),
 ]
 
 
