@@ -1,0 +1,128 @@
+"""Disabled-profiler overhead pin.
+
+The phase profiler lives permanently in the hot paths (engine, fleet
+runner, scheduler binding, serve router); its disabled fast path —
+one attribute check plus a cached no-op context manager — must cost
+less than 1% of an engine round sequence. Rather than differencing
+two noisy end-to-end wall times (the instrumentation is *always*
+compiled in, so there is no uninstrumented build to diff against),
+the pin composes two direct measurements:
+
+    overhead = per_call_cost(disabled phase) * phase_entries_per_run
+               / bare_run_wall_time
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_prof_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.partition import iid_partition
+from repro.data.synthetic import SyntheticConfig, make_dataset
+from repro.device.registry import make_device
+from repro.federated.simulation import FederatedSimulation, SimulationConfig
+from repro.models import logistic
+from repro.obs.prof import PROFILER, PhaseProfiler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_USERS = 20
+N_ROUNDS = 5
+REPEATS = 5
+CALLS = 200_000
+BUDGET = 0.01  # 1% ceiling for the disabled instrumentation
+
+DEVICE_NAMES = ("pixel2", "mate10", "nexus6p", "pixel2", "nexus6")
+
+
+def _dataset():
+    return make_dataset(
+        SyntheticConfig(
+            name="bench",
+            shape=(1, 8, 8),
+            num_classes=10,
+            train_size=40_000,
+            test_size=100,
+            noise=1.0,
+            seed=7,
+        )
+    )
+
+
+def _run_engine(dataset, users):
+    model = logistic(input_shape=dataset.input_shape, seed=1)
+    devices = [
+        make_device(DEVICE_NAMES[j % len(DEVICE_NAMES)], jitter=0.0)
+        for j in range(N_USERS)
+    ]
+    sim = FederatedSimulation(
+        dataset, model, users, devices=devices, config=SimulationConfig()
+    )
+    t0 = time.perf_counter()
+    history = sim.run(N_ROUNDS, train=False)
+    return time.perf_counter() - t0, history.makespans()
+
+
+def _disabled_call_cost_s():
+    probe = PhaseProfiler()  # fresh, disabled
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(CALLS):
+            with probe.phase("x"):
+                pass
+        best = min(best, time.perf_counter() - t0)
+    assert probe.stats == {}  # stayed disabled: nothing recorded
+    return best / CALLS
+
+
+def test_disabled_profiler_overhead_under_one_percent():
+    dataset = _dataset()
+    rng = np.random.default_rng(0)
+    users = iid_partition(dataset, N_USERS, rng)
+
+    bare_s = min(_run_engine(dataset, users)[0] for _ in range(REPEATS))
+    per_call_s = _disabled_call_cost_s()
+
+    # count how many phase entries one run actually makes
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        _, enabled_spans = _run_engine(dataset, users)
+        phase_entries = PROFILER.total_count()
+    finally:
+        PROFILER.disable()
+        PROFILER.reset()
+    assert phase_entries > 0
+
+    # profiling must never perturb the physics: same makespans with
+    # the profiler on as off
+    _, bare_spans = _run_engine(dataset, users)
+    np.testing.assert_allclose(enabled_spans, bare_spans)
+
+    overhead = per_call_s * phase_entries / bare_s
+
+    lines = [
+        "== prof_overhead: disabled PhaseProfiler cost on the engine",
+        f"{N_USERS} users, {N_ROUNDS} timing-only rounds, "
+        f"best of {REPEATS} repeats",
+        f"bare engine      {bare_s * 1000:10.1f} ms",
+        f"per disabled call{per_call_s * 1e9:10.1f} ns",
+        f"phase entries    {phase_entries:10d} per run",
+        f"overhead         {overhead * 100:+10.4f} %  "
+        f"(budget {BUDGET:.0%})",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "prof_overhead.txt").write_text(text + "\n")
+
+    assert overhead < BUDGET, (
+        f"disabled-profiler overhead {overhead:.3%} exceeds "
+        f"{BUDGET:.0%} budget"
+    )

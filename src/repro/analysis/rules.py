@@ -25,6 +25,11 @@ rationale and the fix recipes):
 * ``metric-doc-drift`` — every metric name registered in the
   ``repro.obs`` catalog appears in ``docs/observability.md``, so the
   metric reference cannot drift from the code.
+* ``bench-payload-schema`` — every committed ``BENCH_*.json`` carries
+  ``schema`` and ``git_sha`` keys (diffable, traceable to a commit),
+  and every literal ``PROFILER.phase(...)`` name used in ``src`` is
+  documented in ``docs/observability.md``, so the committed
+  performance trajectory and the profiler phase table cannot drift.
 
 Four rules are *cross-module*: they consume the whole-program model of
 :mod:`repro.analysis.project` (symbol table, import graph, approximate
@@ -63,6 +68,7 @@ One rule guards the columnar-fleet performance contract:
 from __future__ import annotations
 
 import ast
+import json
 import re
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -83,6 +89,7 @@ __all__ = [
     "EventSchemaSync",
     "RegistryDocDrift",
     "MetricDocDrift",
+    "BenchPayloadSchema",
     "EventDispatchExhaustiveness",
     "SchedulerContract",
     "UnitConsistency",
@@ -736,6 +743,135 @@ class MetricDocDrift(ProjectRule):
                     else None
                 )
                 if fn_name != "register_metric":
+                    continue
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    value = node.args[0].value
+                    if isinstance(value, str):
+                        out.append((value, module, node))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# bench-payload-schema
+# ---------------------------------------------------------------------------
+
+
+@rule("bench-payload-schema")
+class BenchPayloadSchema(ProjectRule):
+    """The committed performance trajectory must stay trustworthy.
+
+    Two halves: every ``BENCH_*.json`` at the repo root is a JSON
+    object carrying ``schema`` and ``git_sha`` keys (payloads without a
+    version cannot be diffed safely; payloads without provenance cannot
+    be traced to a commit), and every literal phase name passed to the
+    global profiler (``PROFILER.phase("...")``) in ``src`` appears as a
+    backticked name in ``docs/observability.md`` — the phase table
+    cannot drift from the instrumentation.
+    """
+
+    description = (
+        "BENCH_*.json payloads carry schema+git_sha and profiler "
+        "phase names are documented in docs/observability.md"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        yield from self._check_payloads(ctx)
+        yield from self._check_phase_docs(ctx)
+
+    def _check_payloads(
+        self, ctx: ProjectContext
+    ) -> Iterator[Finding]:
+        for path in ctx.glob("BENCH_*.json"):
+            rel = path.name
+            text = ctx.read_text(rel)
+            if text is None:  # pragma: no cover - racy delete
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as exc:
+                yield Finding(
+                    rule_id=self.id,
+                    path=rel,
+                    line=1,
+                    col=0,
+                    message=f"{rel} is not valid JSON: {exc}",
+                )
+                continue
+            if not isinstance(payload, dict):
+                yield Finding(
+                    rule_id=self.id,
+                    path=rel,
+                    line=1,
+                    col=0,
+                    message=f"{rel} must be a JSON object",
+                )
+                continue
+            for key in ("schema", "git_sha"):
+                if key not in payload:
+                    yield Finding(
+                        rule_id=self.id,
+                        path=rel,
+                        line=1,
+                        col=0,
+                        message=(
+                            f"{rel} is missing the {key!r} key "
+                            "(committed bench payloads must be "
+                            "schema-versioned and carry provenance)"
+                        ),
+                    )
+
+    def _check_phase_docs(
+        self, ctx: ProjectContext
+    ) -> Iterator[Finding]:
+        used = self._phase_calls(ctx)
+        if not used:
+            return
+        doc = ctx.read_text("docs/observability.md")
+        for name, module, node in used:
+            fctx = ctx.files.get(module)
+            if fctx is not None and fctx.suppressed(
+                node.lineno, self.id
+            ):
+                continue
+            if doc is None or f"`{name}`" not in doc:
+                yield Finding(
+                    rule_id=self.id,
+                    path=module,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"profiler phase {name!r} is used but not "
+                        "documented in docs/observability.md (add a "
+                        f"`{name}` row to the phase table)"
+                    ),
+                    code=(
+                        fctx.line_text(node.lineno)
+                        if fctx is not None
+                        else ""
+                    ),
+                )
+
+    @staticmethod
+    def _phase_calls(
+        ctx: ProjectContext,
+    ) -> List[Tuple[str, str, ast.Call]]:
+        """(name, module, call node) for each literal
+        ``PROFILER.phase("...")`` in ``src/repro`` (local profiler
+        instances — micro-bench probes, tests — are exempt)."""
+        out: List[Tuple[str, str, ast.Call]] = []
+        for module, fctx in sorted(ctx.files.items()):
+            if not module.startswith("src/repro/"):
+                continue
+            for node in ast.walk(fctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "phase"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "PROFILER"
+                ):
                     continue
                 if node.args and isinstance(node.args[0], ast.Constant):
                     value = node.args[0].value

@@ -11,9 +11,12 @@ Usage (after ``pip install -e .``):
     python -m repro sched list                 # registered schedulers
     python -m repro sched compare --testbed A  # scheduler comparison
     python -m repro bench fleet --ns 100,10000 # columnar-fleet n-sweep
+    python -m repro bench suite --quick        # core perf suite (smoke)
+    python -m repro bench diff OLD NEW         # regression verdicts
     python -m repro obs summary run.jsonl      # telemetry dashboard
     python -m repro obs export-prom run.jsonl  # Prometheus exposition
     python -m repro obs export-trace run.jsonl # Perfetto/Chrome trace
+    python -m repro obs prof --rounds 3        # phase-profiled workload
 
 ``run`` uses each experiment's default (fast) configuration and prints
 the paper-style rows; ``--out DIR`` additionally archives them.
@@ -564,6 +567,85 @@ def cmd_bench_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_suite(args: argparse.Namespace) -> int:
+    """Run the core benchmark suite; optionally write BENCH_core.json."""
+    from .perf import bench_suite, format_suite, write_suite
+
+    results = bench_suite(quick=args.quick, seed=args.seed)
+    print(format_suite(results, quick=args.quick))
+    if args.out:
+        write_suite(results, Path(args.out), quick=args.quick)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two suite payloads; non-zero exit on a gated regression."""
+    from .perf import (
+        diff_payloads,
+        format_diff,
+        has_regression,
+        load_payload,
+    )
+
+    try:
+        old = load_payload(Path(args.old))
+        new = load_payload(Path(args.new))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verdicts = diff_payloads(old, new, threshold_pct=args.threshold)
+    print(format_diff(verdicts, threshold_pct=args.threshold))
+    return 1 if has_regression(verdicts) else 0
+
+
+def cmd_obs_prof(args: argparse.Namespace) -> int:
+    """Profile a deterministic fleet workload; print the phase tree."""
+    import json as _json
+
+    from .fleet import FleetRunner, UniformSampler, synthetic_fleet
+    from .obs import ObsRecorder
+    from .obs.prof import PROFILER, profile_payload, render_profile
+
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        fleet = synthetic_fleet(2000, seed=args.seed)
+        runner = FleetRunner(
+            fleet,
+            scheduler=args.scheduler,
+            sampler=UniformSampler(args.seed),
+            cohort_size=128,
+            shard_size=500,
+        )
+        recorder = ObsRecorder(run_name="obs-prof")
+        runner.bus.subscribe(recorder)
+        runner.run(args.rounds)
+    finally:
+        PROFILER.disable()
+    if args.format == "json":
+        _emit(
+            _json.dumps(profile_payload(PROFILER), indent=2) + "\n",
+            args.out,
+        )
+    else:
+        _emit(render_profile(PROFILER) + "\n", args.out)
+    if args.trace:
+        from .obs import render_trace_json
+
+        spans = recorder.finish_spans()
+        Path(args.trace).write_text(
+            render_trace_json(
+                spans, process_name="obs-prof", profiler=PROFILER
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.trace}", file=sys.stderr)
+    PROFILER.reset()
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import (
         apply_fixes,
@@ -1027,6 +1109,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_blint.set_defaults(func=cmd_bench_lint)
 
+    p_bsuite = bench_sub.add_parser(
+        "suite",
+        help="run the core benchmark suite (writes BENCH_core.json "
+        "with --out)",
+    )
+    p_bsuite.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller workloads/fewer repeats; gated "
+        "metrics computed identically to the full suite",
+    )
+    p_bsuite.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    p_bsuite.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON document (BENCH_core.json schema)",
+    )
+    p_bsuite.set_defaults(func=cmd_bench_suite)
+
+    p_bdiff = bench_sub.add_parser(
+        "diff",
+        help="compare two suite payloads; exit 1 on a gated regression",
+    )
+    p_bdiff.add_argument("old", help="baseline payload (BENCH_core.json)")
+    p_bdiff.add_argument("new", help="candidate payload")
+    p_bdiff.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="gated-regression threshold in percent (default 25)",
+    )
+    p_bdiff.set_defaults(func=cmd_bench_diff)
+
     p_obs = sub.add_parser(
         "obs",
         help="observability over saved telemetry (repro.obs)",
@@ -1071,6 +1189,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write to a file instead of stdout"
     )
     p_otrace.set_defaults(func=cmd_obs_export_trace)
+
+    p_oprof = obs_sub.add_parser(
+        "prof",
+        help="profile a deterministic fleet workload with the phase "
+        "profiler and print the hierarchical summary",
+    )
+    p_oprof.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="fleet rounds to run (default 3)",
+    )
+    p_oprof.add_argument(
+        "--scheduler",
+        default="proportional",
+        help="scheduler registry name (default proportional)",
+    )
+    p_oprof.add_argument(
+        "--seed", type=int, default=0, help="fleet/sampler seed"
+    )
+    p_oprof.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="summary format (default text)",
+    )
+    p_oprof.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    p_oprof.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also write a Perfetto trace with profiler counter tracks",
+    )
+    p_oprof.set_defaults(func=cmd_obs_prof)
 
     p_lint = sub.add_parser(
         "lint",

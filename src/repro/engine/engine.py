@@ -44,6 +44,7 @@ from ..models.network import Sequential
 from ..models.zoo import model_wire_mb
 from ..network.link import Link
 from ..network.transfer import round_comm_cost
+from ..obs.prof import PROFILER
 from .aggregation import AggregationStrategy, StalenessWeighted, SyncFedAvg
 from .events import (
     ClientDispatched,
@@ -553,19 +554,21 @@ class RoundEngine:
         # Battery opt-out must be decided before the round runs (the
         # device would not even start training).
         self._round_samples = None
-        eligible = self.eligible_clients()
-        if not eligible:
-            if any(u.size > 0 for u in self.users):
-                raise RuntimeError(
-                    "every data-holding device is below min_soc"
-                )
-            raise RuntimeError("no user holds any data")
-        eligible = self._sample_cohort(eligible)
+        with PROFILER.phase("cohort"):
+            eligible = self.eligible_clients()
+            if not eligible:
+                if any(u.size > 0 for u in self.users):
+                    raise RuntimeError(
+                        "every data-holding device is below min_soc"
+                    )
+                raise RuntimeError("no user holds any data")
+            eligible = self._sample_cohort(eligible)
         round_idx = server.round_idx + 1
         if self.scheduler_binding is not None:
-            assignment = self.scheduler_binding.plan_round(
-                self, round_idx, eligible
-            )
+            with PROFILER.phase("plan"):
+                assignment = self.scheduler_binding.plan_round(
+                    self, round_idx, eligible
+                )
             samples = np.asarray(
                 assignment.samples_per_user(), dtype=np.int64
             )
@@ -595,7 +598,8 @@ class RoundEngine:
                 raise RuntimeError(
                     "the scheduler assigned no data to any eligible user"
                 )
-        times = self._dispatch_round(round_idx, eligible)
+        with PROFILER.phase("dispatch"):
+            times = self._dispatch_round(round_idx, eligible)
         active = eligible
         aggregators = active
         if self.dropout is not None:
@@ -626,15 +630,17 @@ class RoundEngine:
             global_w = server.global_weights()
             weight_vectors: List[np.ndarray] = []
             counts: List[int] = []
-            for j in aggregators:
-                result = self._train_client(
-                    j, global_w, epochs=self.local_epochs
+            with PROFILER.phase("train"):
+                for j in aggregators:
+                    result = self._train_client(
+                        j, global_w, epochs=self.local_epochs
+                    )
+                    weight_vectors.append(result.weights)
+                    counts.append(result.n_samples)
+            with PROFILER.phase("aggregate"):
+                new_weights = self.strategy.aggregate(
+                    weight_vectors, counts, global_weights=global_w
                 )
-                weight_vectors.append(result.weights)
-                counts.append(result.n_samples)
-            new_weights = self.strategy.aggregate(
-                weight_vectors, counts, global_weights=global_w
-            )
             server.model.set_weights(new_weights)
             server.round_idx += 1
             self.bus.emit(

@@ -31,6 +31,7 @@ from ..engine.events import (
     RoundCompleted,
     ScheduleComputed,
 )
+from ..obs.prof import PROFILER
 from ..sched.base import Scheduler
 from ..sched.costs import fleet_problem
 from ..sched.registry import get_scheduler
@@ -159,12 +160,13 @@ class FleetRunner:
         """Run one barrier round; returns its record (also appended to
         :attr:`records`)."""
         t_round = _time.perf_counter()
-        eligible = self.eligible_indices()
-        if eligible.size == 0:
-            raise RuntimeError(
-                "no eligible devices (all dead, drained, or data-less)"
-            )
-        cohort = self._draw_cohort(eligible)
+        with PROFILER.phase("cohort"):
+            eligible = self.eligible_indices()
+            if eligible.size == 0:
+                raise RuntimeError(
+                    "no eligible devices (all dead, drained, or data-less)"
+                )
+            cohort = self._draw_cohort(eligible)
         round_idx = self.round_idx + 1
 
         problem = fleet_problem(
@@ -178,40 +180,43 @@ class FleetRunner:
         # perf_counter (monotonic): solver runtime is host cost, not
         # virtual time — same discipline as EngineSchedulerBinding
         t_solve = _time.perf_counter()
-        assignment = self.scheduler.schedule(problem)
+        with PROFILER.phase("solve"):
+            assignment = self.scheduler.schedule(problem)
         solve_ms = (_time.perf_counter() - t_solve) * 1e3
 
-        counts = np.asarray(assignment.shard_counts, dtype=np.int64)
-        samples = counts * np.int64(self.shard_size)
-        active = np.flatnonzero(samples > 0)
-        idx = cohort[active]
-        compute_s, energy_j = self.fleet.run_compute(
-            idx, samples[active], epochs=self.local_epochs
-        )
-        comm_s = self.fleet.comm_time_s(idx, self.wire_mb)
-        total_s = compute_s + comm_s
-        makespan_s = float(total_s.max()) if total_s.size else 0.0
-        mean_s = float(total_s.mean()) if total_s.size else 0.0
-        round_energy = float(energy_j.sum())
-        soc = self.fleet.soc(idx)
-        mean_soc = float(soc.mean()) if soc.size else 0.0
+        with PROFILER.phase("dispatch"):
+            counts = np.asarray(assignment.shard_counts, dtype=np.int64)
+            samples = counts * np.int64(self.shard_size)
+            active = np.flatnonzero(samples > 0)
+            idx = cohort[active]
+            compute_s, energy_j = self.fleet.run_compute(
+                idx, samples[active], epochs=self.local_epochs
+            )
+            comm_s = self.fleet.comm_time_s(idx, self.wire_mb)
+            total_s = compute_s + comm_s
+            makespan_s = float(total_s.max()) if total_s.size else 0.0
+            mean_s = float(total_s.mean()) if total_s.size else 0.0
+            round_energy = float(energy_j.sum())
+            soc = self.fleet.soc(idx)
+            mean_soc = float(soc.mean()) if soc.size else 0.0
 
-        self._narrate(
-            round_idx,
-            eligible_count=int(eligible.size),
-            idx=idx,
-            samples=samples[active],
-            compute_s=compute_s,
-            comm_s=comm_s,
-            total_s=total_s,
-            energy_j=energy_j,
-            soc=soc,
-            assignment_counts=counts,
-            predicted_makespan_s=assignment.predicted_makespan_s,
-            predicted_energy_j=assignment.predicted_energy_j,
-            makespan_s=makespan_s,
-            solve_ms=solve_ms,
-        )
+        with PROFILER.phase("narrate"):
+            self._narrate(
+                round_idx,
+                eligible_count=int(eligible.size),
+                idx=idx,
+                samples=samples[active],
+                compute_s=compute_s,
+                comm_s=comm_s,
+                total_s=total_s,
+                energy_j=energy_j,
+                soc=soc,
+                assignment_counts=counts,
+                predicted_makespan_s=assignment.predicted_makespan_s,
+                predicted_energy_j=assignment.predicted_energy_j,
+                makespan_s=makespan_s,
+                solve_ms=solve_ms,
+            )
 
         self._idle_to_barrier(idx, total_s, makespan_s)
         self.clock_s += makespan_s + self.aggregation_s

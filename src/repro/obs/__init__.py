@@ -15,7 +15,18 @@ from . import catalog
 from .dashboard import render_summary
 from .energy import ClientEnergy, EnergyLedger
 from .export_prom import render_prometheus
-from .export_trace import render_trace_json, trace_events
+from .export_trace import (
+    profile_counter_events,
+    render_trace_json,
+    trace_events,
+)
+from .prof import (
+    PROFILER,
+    PhaseProfiler,
+    fold_profile,
+    profile_payload,
+    render_profile,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -51,4 +62,10 @@ __all__ = [
     "render_prometheus",
     "render_trace_json",
     "trace_events",
+    "PROFILER",
+    "PhaseProfiler",
+    "fold_profile",
+    "profile_payload",
+    "render_profile",
+    "profile_counter_events",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from .metrics import (
     DEFAULT_ENERGY_BUCKETS,
+    DEFAULT_HOST_SECONDS_BUCKETS,
     DEFAULT_MS_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     MetricSpec,
@@ -50,6 +51,8 @@ __all__ = [
     "SERVE_REPLANS_TOTAL",
     "SERVE_ROUNDS_IN_FLIGHT",
     "SERVE_REQUESTS_TOTAL",
+    "SERVE_REQUEST_LATENCY_SECONDS",
+    "PROF_PHASE_SECONDS",
 ]
 
 # -- stream-level ------------------------------------------------------------
@@ -232,4 +235,25 @@ SERVE_REQUESTS_TOTAL: MetricSpec = register_metric(
     "counter",
     "control-plane API requests, by route and status code",
     labels=("route", "code"),
+)
+SERVE_REQUEST_LATENCY_SECONDS: MetricSpec = register_metric(
+    "repro_serve_request_latency_seconds",
+    "histogram",
+    "control-plane request handling latency "
+    "(host seconds, perf_counter), by collapsed route",
+    labels=("route",),
+    unit="seconds",
+    buckets=DEFAULT_HOST_SECONDS_BUCKETS,
+)
+
+# -- host-cost profiling (repro.obs.prof) ------------------------------------
+# Host seconds, not virtual time: fed from perf_counter phase samples
+# via repro.obs.prof.fold_profile when profiling is enabled.
+PROF_PHASE_SECONDS: MetricSpec = register_metric(
+    "repro_prof_phase_seconds",
+    "histogram",
+    "host seconds per profiler phase path (perf_counter)",
+    labels=("phase",),
+    unit="seconds",
+    buckets=DEFAULT_HOST_SECONDS_BUCKETS,
 )

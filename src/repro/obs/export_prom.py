@@ -15,11 +15,24 @@ from .metrics import Counter, Gauge, Histogram, MetricRegistry
 
 __all__ = ["render_prometheus"]
 
-_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+# 0.0.4 exposition escaping, single pass so a backslash produced by
+# one replacement is never re-escaped by the next:
+#  - label values escape backslash, newline and the double quote;
+#  - HELP text escapes backslash and newline only (it is unquoted, so
+#    a raw quote is fine but a raw newline would truncate the comment
+#    and corrupt the next line of the exposition).
+_LABEL_ESCAPES = str.maketrans(
+    {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+)
+_HELP_ESCAPES = str.maketrans({"\\": "\\\\", "\n": "\\n"})
 
 
 def _escape_label_value(value: str) -> str:
-    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+    return value.translate(_LABEL_ESCAPES)
+
+
+def _escape_help(text: str) -> str:
+    return text.translate(_HELP_ESCAPES)
 
 
 def _format_value(value: float) -> str:
@@ -48,7 +61,7 @@ def _format_labels(
 
 
 def _render_header(lines: List[str], name: str, help_: str, kind: str) -> None:
-    lines.append(f"# HELP {name} {help_}")
+    lines.append(f"# HELP {name} {_escape_help(help_)}")
     lines.append(f"# TYPE {name} {kind}")
 
 

@@ -8,19 +8,30 @@ them. Durations use the complete-event phase (``"X"``); zero-duration
 spans (scheduler invocations, aggregations) become instants (``"i"``).
 
 Timestamps are the engine's virtual clock converted to microseconds —
-the trace timeline is simulated time, not host time.
+the trace timeline is simulated time, not host time. The one
+exception is optional and opt-in: passing a
+:class:`~repro.obs.prof.PhaseProfiler` to :func:`render_trace_json`
+appends its phase samples as Perfetto *counter tracks* (``"C"``
+events, one track per phase path, value = host milliseconds) under a
+separate ``profiler (host)`` process, so virtual spans and host cost
+can be inspected side by side without mixing their clocks.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from .prof import PhaseProfiler
 from .spans import Span
 
-__all__ = ["trace_events", "render_trace_json"]
+__all__ = ["trace_events", "profile_counter_events", "render_trace_json"]
 
 _ENGINE_TID = 0
+
+#: counter tracks live in their own process so Perfetto keeps the
+#: host-time profiler lanes visually apart from the virtual timeline
+_PROF_PID = 2
 
 #: trace-viewer colour names per span category
 _COLORS = {
@@ -105,12 +116,53 @@ def trace_events(
     return events
 
 
+def profile_counter_events(
+    profiler: PhaseProfiler,
+) -> List[Dict[str, object]]:
+    """Phase samples as Perfetto counter-track events.
+
+    One ``"C"`` track per phase path, sample timestamps relative to
+    the profiler epoch, values in host milliseconds.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": _PROF_PID,
+            "tid": _ENGINE_TID,
+            "name": "process_name",
+            "args": {"name": "profiler (host)"},
+        }
+    ]
+    for sample in profiler.samples:
+        events.append(
+            {
+                "ph": "C",
+                "pid": _PROF_PID,
+                "tid": _ENGINE_TID,
+                "name": f"prof/{sample.path}",
+                "ts": _us(sample.start_s),
+                "args": {"ms": round(sample.dur_s * 1e3, 6)},
+            }
+        )
+    return events
+
+
 def render_trace_json(
-    roots: List[Span], process_name: str = "repro"
+    roots: List[Span],
+    process_name: str = "repro",
+    profiler: Optional[PhaseProfiler] = None,
 ) -> str:
-    """Serialise the trace as a Chrome/Perfetto-loadable JSON object."""
+    """Serialise the trace as a Chrome/Perfetto-loadable JSON object.
+
+    Without a profiler (or with one holding no samples) the output is
+    byte-identical to what this function always produced — profiling
+    off must not move a single byte of the trace surface.
+    """
+    events = trace_events(roots, process_name=process_name)
+    if profiler is not None and profiler.samples:
+        events.extend(profile_counter_events(profiler))
     payload = {
         "displayTimeUnit": "ms",
-        "traceEvents": trace_events(roots, process_name=process_name),
+        "traceEvents": events,
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_ENERGY_BUCKETS",
     "DEFAULT_MS_BUCKETS",
+    "DEFAULT_HOST_SECONDS_BUCKETS",
 ]
 
 #: label-value tuple keying one time series inside an instrument
@@ -63,6 +64,10 @@ DEFAULT_ENERGY_BUCKETS: Tuple[float, ...] = (
 #: solver runtimes in host milliseconds
 DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
     0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+#: host-cost durations in seconds (profiler phases, request handling)
+DEFAULT_HOST_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
 )
 
 _NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")

@@ -46,6 +46,7 @@ from ..engine.telemetry import read_jsonl_meta
 from . import catalog
 from .energy import EnergyLedger
 from .metrics import MetricRegistry
+from .prof import PROFILER
 from .spans import Span, SpanBuilder
 
 if TYPE_CHECKING:
@@ -159,82 +160,86 @@ class ObsRecorder:
     # -- live path ---------------------------------------------------------
     def __call__(self, event: EngineEvent) -> None:
         """EventBus listener: fold one typed engine event."""
-        self.n_events += 1
-        self._events_total.inc(kind=event.kind)
-        time_s = getattr(event, "time_s", None)
-        if isinstance(time_s, float):
-            self._clock.set(time_s)
-        if isinstance(event, ClientDispatched):
-            if self.spans is not None:
-                self.spans.on_client_dispatched(
+        with PROFILER.phase("fold"):
+            self.n_events += 1
+            self._events_total.inc(kind=event.kind)
+            time_s = getattr(event, "time_s", None)
+            if isinstance(time_s, float):
+                self._clock.set(time_s)
+            if isinstance(event, ClientDispatched):
+                if self.spans is not None:
+                    self.spans.on_client_dispatched(
+                        event.round_idx,
+                        event.client_id,
+                        event.time_s,
+                        event.n_samples,
+                    )
+            elif isinstance(event, ClientFinished):
+                self._on_client_finished(
                     event.round_idx,
                     event.client_id,
                     event.time_s,
-                    event.n_samples,
+                    event.compute_s,
+                    event.comm_s,
+                    event.total_s,
+                    event.energy_j,
+                    event.battery_soc,
                 )
-        elif isinstance(event, ClientFinished):
-            self._on_client_finished(
-                event.round_idx,
-                event.client_id,
-                event.time_s,
-                event.compute_s,
-                event.comm_s,
-                event.total_s,
-                event.energy_j,
-                event.battery_soc,
-            )
-        elif isinstance(event, ClientDropped):
-            self._on_client_dropped(
-                event.round_idx,
-                event.client_id,
-                event.time_s,
-                event.total_s,
-            )
-        elif isinstance(event, ModelAggregated):
-            self._on_model_aggregated(
-                event.round_idx,
-                event.time_s,
-                event.strategy,
-                len(event.participants),
-            )
-        elif isinstance(event, RoundCompleted):
-            self._on_round_completed(
-                event.round_idx,
-                event.time_s,
-                event.makespan_s,
-                event.mean_time_s,
-                event.participant_count,
-                event.accuracy,
-            )
-        elif isinstance(event, ScheduleComputed):
-            self._on_schedule_computed(
-                event.round_idx,
-                event.time_s,
-                event.scheduler,
-                event.predicted_makespan_s,
-                event.predicted_energy_j,
-                event.solve_ms,
-            )
-        elif isinstance(event, CohortAccounted):
-            self._on_cohort_accounted(
-                event.round_idx,
-                event.cohort_size,
-                event.eligible_count,
-                event.energy_j,
-                event.mean_battery_soc,
-            )
-        elif isinstance(event, DeviceJoined):
-            self._on_membership(
-                event.kind, event.device_id, event.client_id, event.time_s
-            )
-        elif isinstance(event, DeviceLost):
-            self._on_membership(
-                event.kind,
-                event.device_id,
-                event.client_id,
-                event.time_s,
-                event.reason,
-            )
+            elif isinstance(event, ClientDropped):
+                self._on_client_dropped(
+                    event.round_idx,
+                    event.client_id,
+                    event.time_s,
+                    event.total_s,
+                )
+            elif isinstance(event, ModelAggregated):
+                self._on_model_aggregated(
+                    event.round_idx,
+                    event.time_s,
+                    event.strategy,
+                    len(event.participants),
+                )
+            elif isinstance(event, RoundCompleted):
+                self._on_round_completed(
+                    event.round_idx,
+                    event.time_s,
+                    event.makespan_s,
+                    event.mean_time_s,
+                    event.participant_count,
+                    event.accuracy,
+                )
+            elif isinstance(event, ScheduleComputed):
+                self._on_schedule_computed(
+                    event.round_idx,
+                    event.time_s,
+                    event.scheduler,
+                    event.predicted_makespan_s,
+                    event.predicted_energy_j,
+                    event.solve_ms,
+                )
+            elif isinstance(event, CohortAccounted):
+                self._on_cohort_accounted(
+                    event.round_idx,
+                    event.cohort_size,
+                    event.eligible_count,
+                    event.energy_j,
+                    event.mean_battery_soc,
+                )
+            elif isinstance(event, DeviceJoined):
+                self._on_membership(
+                    event.kind,
+                    event.device_id,
+                    event.client_id,
+                    event.time_s,
+                )
+            elif isinstance(event, DeviceLost):
+                self._on_membership(
+                    event.kind,
+                    event.device_id,
+                    event.client_id,
+                    event.time_s,
+                    event.reason,
+                )
 
     # -- shared per-kind folds ---------------------------------------------
     def _on_client_finished(

@@ -1,0 +1,39 @@
+"""Committed performance trajectory: bench suite + regression diff.
+
+``repro bench suite`` runs the cross-cutting benchmark suite
+(:func:`bench_suite`) and writes a schema-versioned payload
+(``BENCH_core.json``); ``repro bench diff OLD NEW``
+(:func:`diff_payloads`) turns two payloads into per-metric verdicts
+with a threshold-based regression gate CI can fail on. See
+``docs/benchmarks.md`` for the metric catalogue and gating rationale.
+"""
+
+from .diff import (
+    Verdict,
+    diff_payloads,
+    format_diff,
+    has_regression,
+    load_payload,
+)
+from .suite import (
+    SUITE_SCHEMA,
+    MetricResult,
+    bench_suite,
+    format_suite,
+    suite_payload,
+    write_suite,
+)
+
+__all__ = [
+    "SUITE_SCHEMA",
+    "MetricResult",
+    "Verdict",
+    "bench_suite",
+    "diff_payloads",
+    "format_diff",
+    "format_suite",
+    "has_regression",
+    "load_payload",
+    "suite_payload",
+    "write_suite",
+]

@@ -31,6 +31,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs.prof import PROFILER
 from .base import Assignment, Scheduler, SchedulingProblem
 from .registry import get_scheduler
 
@@ -220,7 +221,8 @@ class EngineSchedulerBinding:
         # virtual time; it rides along in meta so the engine's
         # ScheduleComputed event (and repro.obs) can report it
         t0 = time.perf_counter()
-        assignment = scheduler.schedule(instance)
+        with PROFILER.phase("solve"):
+            assignment = scheduler.schedule(instance)
         assignment.meta["solve_ms"] = (
             time.perf_counter() - t0
         ) * 1e3

@@ -38,6 +38,7 @@ from ..device.energy import energy_for_samples
 from ..device.registry import build_spec, make_device
 from ..models.network import Sequential
 from ..models.zoo import CIFAR_SHAPE, MNIST_SHAPE, build_model
+from ..obs.prof import PROFILER
 from ..profiling.profiler import bootstrap_curve
 from .base import SchedulingProblem
 
@@ -362,12 +363,13 @@ def fleet_problem(
     # perf_counter (monotonic): matrix-build cost is host cost, like
     # the solver runtime the binding records
     t0 = time.perf_counter()
-    time_cols, energy_cols = fleet_class_matrices(
-        fleet, total_shards, shard_size
-    )
-    cid = fleet.class_id[idx]
-    time_cost = time_cols[cid]
-    energy_cost = energy_cols[cid] if with_energy else None
+    with PROFILER.phase("build"):
+        time_cols, energy_cols = fleet_class_matrices(
+            fleet, total_shards, shard_size
+        )
+        cid = fleet.class_id[idx]
+        time_cost = time_cols[cid]
+        energy_cost = energy_cols[cid] if with_energy else None
     build_ms = (time.perf_counter() - t0) * 1e3
     slopes = np.array(
         [c.time_per_sample_s for c in fleet.classes], dtype=np.float64

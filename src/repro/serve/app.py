@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import re
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..engine.events import EventBus
@@ -28,6 +29,7 @@ from ..fleet.store import FleetStore, synthetic_fleet
 from ..obs import ObsRecorder, render_prometheus
 from ..obs import catalog
 from ..obs.metrics import MetricRegistry
+from ..obs.prof import PROFILER, fold_profile
 from .clock import NowFn, now as wall_now
 from .coordinator import RoundJob, TrainingCoordinator
 from .modelreg import ModelRegistry
@@ -101,6 +103,11 @@ class ServeApp:
         self._requests_total = self.metrics.counter(
             catalog.SERVE_REQUESTS_TOTAL
         )
+        self._request_latency = self.metrics.histogram(
+            catalog.SERVE_REQUEST_LATENCY_SECONDS
+        )
+        #: profiler samples already folded into the scrape surface
+        self._prof_folded = 0
         self.fleet = (
             fleet
             if fleet is not None
@@ -178,10 +185,15 @@ class ServeApp:
         body: Optional[Mapping[str, object]] = None,
     ) -> Response:
         """Route one control-plane request; transport-free."""
-        status, payload = self._route(method, path, body)
-        self._requests_total.inc(
-            route=self._route_label(method, path), code=status
-        )
+        # perf_counter: request latency is host cost, never the
+        # simulated service clock (a ManualClock would report zero)
+        with PROFILER.phase("request"):
+            t0 = perf_counter()
+            status, payload = self._route(method, path, body)
+            elapsed_s = perf_counter() - t0
+        route = self._route_label(method, path)
+        self._requests_total.inc(route=route, code=status)
+        self._request_latency.observe(elapsed_s, route=route)
         return status, payload
 
     def _route(
@@ -270,7 +282,16 @@ class ServeApp:
             return exc.code, {"error": str(exc)}
 
     def render_metrics(self) -> str:
-        """The ``/metrics`` exposition: engine + serve instruments."""
+        """The ``/metrics`` exposition: engine + serve instruments.
+
+        When phase profiling is on, samples accumulated since the last
+        scrape are folded into ``repro_prof_phase_seconds`` first (the
+        cursor keeps repeated scrapes from double-counting).
+        """
+        if PROFILER.samples or PROFILER.enabled:
+            self._prof_folded = fold_profile(
+                PROFILER, self.metrics, start=self._prof_folded
+            )
         return render_prometheus(
             self.metrics,
             extra_info={

@@ -1,0 +1,133 @@
+"""bench-payload-schema: committed BENCH_*.json payloads and the
+profiler phase table must stay trustworthy."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_repo
+from repro.analysis.rules import BenchPayloadSchema
+
+INSTRUMENTED = '''\
+from ..obs.prof import PROFILER
+
+
+def run_round(scheduler, instance):
+    with PROFILER.phase("solve"):
+        return scheduler.schedule(instance)
+
+
+def micro_probe(prof):
+    # a *local* profiler is exempt: only the global PROFILER names
+    # form the documented phase surface
+    with prof.phase("x"):
+        pass
+'''
+
+
+def make_repo(
+    tmp_path: Path,
+    payload=None,
+    payload_text=None,
+    documented=("solve",),
+) -> Path:
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    (pkg / "runner.py").write_text(INSTRUMENTED, encoding="utf-8")
+    if payload is not None:
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+    if payload_text is not None:
+        (tmp_path / "BENCH_demo.json").write_text(
+            payload_text, encoding="utf-8"
+        )
+    if documented is not None:
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        rows = "\n".join(f"| `{n}` | demo |" for n in documented)
+        (docs / "observability.md").write_text(
+            f"# Phases\n\n| phase | notes |\n|---|---|\n{rows}\n",
+            encoding="utf-8",
+        )
+    return tmp_path
+
+
+def _lint(root):
+    return lint_repo(root, rule_ids=["bench-payload-schema"])
+
+
+def test_compliant_repo_is_clean(tmp_path):
+    root = make_repo(
+        tmp_path, payload={"schema": 1, "git_sha": "abc", "metrics": {}}
+    )
+    report = _lint(root)
+    assert report.findings == []
+    assert report.exit_code == 0
+
+
+def test_missing_schema_and_git_sha_flagged(tmp_path):
+    root = make_repo(tmp_path, payload={"metrics": {}})
+    report = _lint(root)
+    assert len(report.findings) == 2
+    messages = " ".join(f.message for f in report.findings)
+    assert "'schema'" in messages and "'git_sha'" in messages
+    assert all(f.path == "BENCH_demo.json" for f in report.findings)
+    assert report.exit_code == 1
+
+
+def test_invalid_json_payload_flagged(tmp_path):
+    root = make_repo(tmp_path, payload_text="not json {")
+    (finding,) = _lint(root).findings
+    assert "not valid JSON" in finding.message
+
+
+def test_non_object_payload_flagged(tmp_path):
+    root = make_repo(tmp_path, payload_text="[1, 2, 3]")
+    (finding,) = _lint(root).findings
+    assert "JSON object" in finding.message
+
+
+def test_undocumented_phase_flagged(tmp_path):
+    root = make_repo(tmp_path, documented=())
+    (finding,) = _lint(root).findings
+    assert "'solve'" in finding.message
+    assert "docs/observability.md" in finding.message
+    assert finding.path == "src/repro/engine/runner.py"
+
+
+def test_missing_doc_file_flags_each_phase(tmp_path):
+    root = make_repo(tmp_path, documented=None)
+    (finding,) = _lint(root).findings
+    assert "'solve'" in finding.message
+
+
+def test_local_profiler_phase_names_are_exempt(tmp_path):
+    # "x" (via the local `prof`) never needs documentation
+    root = make_repo(tmp_path, documented=("solve",))
+    assert _lint(root).findings == []
+
+
+def test_inline_suppression_honoured(tmp_path):
+    root = make_repo(tmp_path, documented=())
+    src = root / "src" / "repro" / "engine" / "runner.py"
+    src.write_text(
+        src.read_text(encoding="utf-8").replace(
+            'with PROFILER.phase("solve"):',
+            'with PROFILER.phase("solve"):'
+            "  # lint: allow[bench-payload-schema]",
+        ),
+        encoding="utf-8",
+    )
+    assert _lint(root).findings == []
+
+
+def test_rule_identity():
+    assert BenchPayloadSchema.id == "bench-payload-schema"
+    assert BenchPayloadSchema.description
+
+
+def test_real_repo_is_compliant():
+    """The live BENCH_*.json files and phase table must agree now."""
+    root = Path(__file__).resolve().parents[2]
+    report = lint_repo(root, rule_ids=["bench-payload-schema"])
+    assert report.findings == []

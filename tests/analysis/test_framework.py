@@ -23,6 +23,7 @@ from repro.analysis.asyncrules import (
     UnawaitedCoroutine,
 )
 from repro.analysis.rules import (
+    BenchPayloadSchema,
     DeadPublicApi,
     EventDispatchExhaustiveness,
     EventSchemaSync,
@@ -42,6 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 #: without extending this table (and the docs, see the drift test
 #: below) is a test failure by design
 EXPECTED_RULES = {
+    "bench-payload-schema": BenchPayloadSchema,
     "blocking-call-in-async": BlockingCallInAsync,
     "dead-public-api": DeadPublicApi,
     "event-dispatch-exhaustiveness": EventDispatchExhaustiveness,

@@ -1,0 +1,195 @@
+"""Phase profiler lifecycle: nesting, unwinding, disabled fast path,
+exports and the Prometheus fold cursor."""
+
+import json
+
+import pytest
+
+from repro.obs import render_prometheus, render_trace_json
+from repro.obs.export_trace import profile_counter_events
+from repro.obs.metrics import MetricRegistry
+from repro.obs.prof import (
+    PROFILER,
+    PhaseHandle,
+    PhaseProfiler,
+    PhaseSample,
+    PhaseStats,
+    fold_profile,
+    profile_payload,
+    render_profile,
+)
+
+
+def _profiler():
+    return PhaseProfiler(enabled=True)
+
+
+class TestLifecycle:
+    def test_disabled_phase_is_a_cached_noop(self):
+        prof = PhaseProfiler()
+        handle = prof.phase("anything")
+        # the whole point of the disabled fast path: no allocation,
+        # same object every call, nothing recorded
+        assert prof.phase("other") is handle
+        assert isinstance(handle, PhaseHandle)
+        with handle:
+            pass
+        assert prof.stats == {}
+        assert prof.samples == []
+        assert prof.total_count() == 0
+
+    def test_disabled_profiler_accepts_any_name(self):
+        prof = PhaseProfiler()
+        with prof.phase("Not Valid!"):  # not validated when off
+            pass
+
+    def test_enabled_validates_names(self):
+        prof = _profiler()
+        with pytest.raises(ValueError, match="phase name"):
+            prof.phase("Bad Name")
+
+    def test_nesting_records_paths(self):
+        prof = _profiler()
+        with prof.phase("round"):
+            with prof.phase("dispatch"):
+                with prof.phase("fold"):
+                    pass
+            with prof.phase("fold"):
+                pass
+        assert set(prof.stats) == {
+            ("round",),
+            ("round", "dispatch"),
+            ("round", "dispatch", "fold"),
+            ("round", "fold"),
+        }
+        paths = [s.path for s in prof.samples]
+        # samples are recorded at phase *exit*, innermost first
+        assert paths == [
+            "round/dispatch/fold",
+            "round/dispatch",
+            "round/fold",
+            "round",
+        ]
+        assert prof.depth == 0
+
+    def test_exception_unwinds_the_stack(self):
+        prof = _profiler()
+        with pytest.raises(RuntimeError):
+            with prof.phase("outer"):
+                with prof.phase("inner"):
+                    raise RuntimeError("boom")
+        # both phases recorded despite the raise, stack fully popped
+        assert prof.depth == 0
+        assert set(prof.stats) == {("outer",), ("outer", "inner")}
+        with prof.phase("outer"):
+            pass
+        assert prof.stats[("outer",)].count == 2
+
+    def test_reset_drops_everything(self):
+        prof = _profiler()
+        with prof.phase("a"):
+            pass
+        prof.reset()
+        assert prof.stats == {}
+        assert prof.samples == []
+        assert prof.dropped_samples == 0
+        assert prof.total_count() == 0
+
+    def test_observer_fires_per_completed_phase(self):
+        prof = _profiler()
+        seen = []
+        prof.observer = lambda path, dur_s: seen.append((path, dur_s))
+        with prof.phase("a"):
+            with prof.phase("b"):
+                pass
+        assert [path for path, _ in seen] == ["a/b", "a"]
+        assert all(dur >= 0.0 for _, dur in seen)
+
+    def test_sample_cap_keeps_aggregates_complete(self):
+        prof = PhaseProfiler(enabled=True, max_samples=3)
+        for _ in range(5):
+            with prof.phase("a"):
+                pass
+        assert len(prof.samples) == 3
+        assert prof.dropped_samples == 2
+        assert prof.stats[("a",)].count == 5
+        assert isinstance(prof.samples[0], PhaseSample)
+
+    def test_stats_aggregate(self):
+        stats = PhaseStats()
+        for dur in (0.2, 0.1, 0.3):
+            stats.add(dur)
+        assert stats.count == 3
+        assert stats.min_s == pytest.approx(0.1)
+        assert stats.max_s == pytest.approx(0.3)
+        assert stats.mean_s == pytest.approx(0.2)
+
+    def test_module_profiler_starts_disabled(self):
+        assert PROFILER.enabled is False
+
+
+class TestExports:
+    def test_payload_is_schema_versioned_and_sorted(self):
+        prof = _profiler()
+        with prof.phase("b"):
+            pass
+        with prof.phase("a"):
+            pass
+        payload = profile_payload(prof)
+        assert payload["schema"] == 1
+        assert [p["path"] for p in payload["phases"]] == ["a", "b"]
+        assert payload["dropped_samples"] == 0
+        json.dumps(payload)  # JSON-able end to end
+
+    def test_render_is_deterministic_but_for_durations(self):
+        prof = _profiler()
+        with prof.phase("round"):
+            with prof.phase("fold"):
+                pass
+        text = render_profile(prof)
+        lines = text.splitlines()
+        assert lines[0] == "== phase profile (host ms, perf_counter) =="
+        assert lines[2].startswith("round")
+        assert lines[3].startswith("  fold")  # nested ⇒ indented
+
+    def test_render_empty(self):
+        assert "no phases recorded" in render_profile(PhaseProfiler())
+
+    def test_fold_profile_cursor_prevents_double_counting(self):
+        prof = _profiler()
+        registry = MetricRegistry()
+        with prof.phase("a"):
+            pass
+        cursor = fold_profile(prof, registry, start=0)
+        assert cursor == 1
+        with prof.phase("a"):
+            pass
+        cursor = fold_profile(prof, registry, start=cursor)
+        assert cursor == 2
+        text = render_prometheus(registry)
+        assert 'repro_prof_phase_seconds_count{phase="a"} 2' in text
+
+
+class TestTraceMerge:
+    def test_trace_identical_without_profiler(self):
+        # profiling off must not change the exporter output by a byte
+        base = render_trace_json([], process_name="x")
+        assert render_trace_json([], process_name="x", profiler=None) == base
+        assert (
+            render_trace_json(
+                [], process_name="x", profiler=PhaseProfiler()
+            )
+            == base
+        )
+
+    def test_counter_tracks_merge_in(self):
+        prof = _profiler()
+        with prof.phase("solve"):
+            pass
+        text = render_trace_json([], process_name="x", profiler=prof)
+        events = json.loads(text)["traceEvents"]
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert counters and all(e["pid"] == 2 for e in counters)
+        assert counters[0]["name"] == "prof/solve"
+        assert counters[0]["args"]["ms"] >= 0.0
+        assert profile_counter_events(prof)  # standalone export too

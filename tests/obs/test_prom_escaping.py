@@ -1,0 +1,71 @@
+"""Prometheus 0.0.4 exposition escaping, pinned against hostile input.
+
+Label values must escape backslash, newline and the double quote;
+HELP text (unquoted) must escape backslash and newline. The golden
+file pins the exact bytes so an escaping regression cannot slip
+through as a "cosmetic" diff.
+"""
+
+from pathlib import Path
+
+from repro.obs.export_prom import render_prometheus
+from repro.obs.metrics import MetricRegistry, MetricSpec
+
+GOLDEN = Path(__file__).parent / "golden" / "hostile_labels.prom"
+
+
+def _hostile_registry():
+    registry = MetricRegistry()
+    counter = registry.counter(
+        MetricSpec(
+            name="hostile_total",
+            kind="counter",
+            help='help with "quotes", a \\ backslash\nand a newline',
+            labels=("route",),
+        )
+    )
+    counter.inc(route='plain')
+    counter.inc(route='back\\slash')
+    counter.inc(route='quo"te')
+    counter.inc(route="new\nline")
+    counter.inc(route="trailing\\")
+    gauge = registry.gauge(
+        MetricSpec(name="plain_gauge", kind="gauge", help="no escapes")
+    )
+    gauge.set(1.5)
+    return registry
+
+
+def test_hostile_labels_match_golden():
+    text = render_prometheus(_hostile_registry())
+    assert text == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_escaped_values_round_trip_distinctly():
+    """Escaping must keep hostile values distinguishable: five label
+    values in, five series out, none colliding after the escape."""
+    text = render_prometheus(_hostile_registry())
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.startswith("hostile_total{")
+    ]
+    assert len(lines) == 5
+    assert len(set(lines)) == 5
+    assert 'route="back\\\\slash"' in text
+    assert 'route="quo\\"te"' in text
+    assert 'route="new\\nline"' in text
+    assert 'route="trailing\\\\"' in text
+    assert "\nand a newline" not in text  # HELP newline escaped
+
+
+def test_help_text_escaping():
+    text = render_prometheus(_hostile_registry())
+    help_lines = [
+        line for line in text.splitlines() if line.startswith("# HELP")
+    ]
+    hostile = [line for line in help_lines if "hostile_total" in line]
+    assert hostile == [
+        "# HELP hostile_total help with \"quotes\", "
+        "a \\\\ backslash\\nand a newline"
+    ]

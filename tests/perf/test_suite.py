@@ -1,0 +1,101 @@
+"""Suite payload shape and the lighter suite sections.
+
+The full ``bench_suite`` run is exercised by the CI smoke job
+(``repro bench suite --quick``); here we pin the payload contract and
+run only the cheap sections so the tier-1 test pass stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SUITE_SCHEMA,
+    MetricResult,
+    format_suite,
+    load_payload,
+    suite_payload,
+    write_suite,
+)
+from repro.perf.suite import _serve_metric, _solve_metrics
+
+RESULTS = [
+    MetricResult(
+        name="alpha_ms",
+        value=1.25,
+        unit="ms",
+        higher_is_better=False,
+        gated=False,
+        note="a note",
+    ),
+    MetricResult(
+        name="beta_pct",
+        value=0.5,
+        unit="%",
+        higher_is_better=False,
+        gated=True,
+        abs_max=1.0,
+    ),
+]
+
+
+class TestPayload:
+    def test_schema_and_provenance(self):
+        payload = suite_payload(RESULTS, quick=True, sha="abc123")
+        assert payload["schema"] == SUITE_SCHEMA
+        assert payload["git_sha"] == "abc123"
+        assert payload["quick"] is True
+        metrics = payload["metrics"]
+        assert set(metrics) == {"alpha_ms", "beta_pct"}
+        assert metrics["alpha_ms"]["note"] == "a note"
+        assert "abs_max" not in metrics["alpha_ms"]
+        assert metrics["beta_pct"]["abs_max"] == 1.0
+        assert metrics["beta_pct"]["gated"] is True
+
+    def test_write_round_trips_through_load(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        write_suite(RESULTS, path, quick=False, sha="abc123")
+        loaded = load_payload(path)
+        assert loaded == suite_payload(RESULTS, quick=False, sha="abc123")
+        # committed artifact: stable key order, trailing newline
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            loaded, indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_format_marks_gated_metrics(self):
+        text = format_suite(RESULTS, quick=True)
+        assert "== bench suite (quick) ==" in text
+        assert "gated" in text
+        assert "alpha_ms" in text and "beta_pct" in text
+
+
+class TestSections:
+    def test_solve_metrics_shape(self):
+        results = {r.name: r for r in _solve_metrics(quick=True, seed=0)}
+        assert set(results) == {
+            "solve_ms_proportional_c128",
+            "solve_ms_proportional_c512",
+            "solve_scaling_proportional",
+            "solve_ms_fed_lbap_c128",
+            "solve_ms_fed_lbap_c512",
+            "solve_scaling_fed_lbap",
+        }
+        # the only gated solve metric is the fed_lbap scaling ratio
+        gated = [n for n, r in results.items() if r.gated]
+        assert gated == ["solve_scaling_fed_lbap"]
+        scaling = results["solve_scaling_fed_lbap"]
+        assert scaling.unit == "x"
+        assert scaling.value > 0
+        assert results["solve_ms_fed_lbap_c512"].value > 0
+
+    def test_serve_round_trip_runs_deterministic_workload(self):
+        result = _serve_metric(quick=True, seed=0)
+        assert result.name == "serve_round_trip_ms"
+        assert result.value > 0
+        assert not result.gated
+
+    def test_metric_result_is_frozen(self):
+        with pytest.raises(AttributeError):
+            RESULTS[0].value = 2.0

@@ -502,3 +502,71 @@ class TestFleetCommands:
             == 2
         )
         assert "unknown sampler" in capsys.readouterr().err
+
+
+class TestObsProf:
+    """`repro obs prof`: the profiler CLI over a real fleet workload."""
+
+    def test_text_profile(self, capsys):
+        assert main(["obs", "prof", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "== phase profile" in out
+        # the fleet runner's phases all show up in the tree
+        for phase in ("cohort", "solve", "dispatch"):
+            assert phase in out
+
+    def test_json_profile_to_file(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "prof.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "prof",
+                    "--rounds",
+                    "1",
+                    "--format",
+                    "json",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == 1
+        paths = {p["path"] for p in payload["phases"]}
+        assert "solve" in paths and "cohort" in paths
+        assert all(p["count"] >= 1 for p in payload["phases"])
+
+    def test_trace_includes_counter_track(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "prof.trace.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "prof",
+                    "--rounds",
+                    "1",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        counters = [
+            e for e in doc["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert counters, "no profiler counter events in trace"
+        assert any(e["name"].startswith("prof/") for e in counters)
+
+    def test_profiler_left_disabled(self):
+        from repro.obs.prof import PROFILER
+
+        assert main(["obs", "prof", "--rounds", "1"]) == 0
+        assert PROFILER.enabled is False
+        assert not PROFILER.stats
