@@ -20,6 +20,18 @@ reachable from coroutines, coroutines never awaited, locks held across
 suspension points, leaked tasks, and fleet-column writes outside the
 registry's ownership seam.
 
+PR 10 adds *interprocedural* determinism tracking: a taint lattice
+(:mod:`taint` — host-time / RNG / env / ``id()`` / set-iteration-order
+sources, propagated through assignments, containers and call-site
+summaries) and purity inference (:mod:`purity` — mutated non-local
+locations with alias tracking) feed the nondeterminism rule pack
+(:mod:`taintrules`): host-clock and unseeded-RNG values escaping into
+the event stream, ``os.environ`` reads outside the entry layers, and
+the ``impure-scheduler`` certificate that every registered
+``Scheduler.schedule`` is a pure function of its arguments. Findings
+carry the full propagation chain (``clock.now -> _lag_s ->
+Heartbeat.lag_s``) in text output and SARIF ``codeFlows``.
+
 ``repro lint`` is the CLI shell around
 :func:`~repro.analysis.runner.lint_repo`; ``--format sarif`` exports
 GitHub-code-scanning-ready SARIF (:mod:`sarif`), ``--fix`` applies the
@@ -30,6 +42,7 @@ baseline (:mod:`baseline`). See ``docs/static-analysis.md``.
 
 from . import asyncrules  # register the async-safety rule pack
 from . import rules  # register the built-in rule set
+from . import taintrules  # register the determinism-taint rule pack
 from .base import (
     FileContext,
     FileRule,
@@ -61,19 +74,29 @@ from .dataflow import (
     solve_forward,
     unit_facts,
 )
-from .findings import Finding, Severity
+from .findings import Finding, FlowStep, Severity
 from .fixes import FIXABLE_RULES, FixResult, apply_fixes, fix_source
 from .project import (
     ModuleInfo,
     ProjectGraph,
     build_project,
+    iter_defined_functions,
     set_parse_listener,
+)
+from .purity import PurityIndex, PuritySummary, purity_index_for
+from .taint import (
+    FnTaint,
+    TaintEngine,
+    TaintFlow,
+    class_attr_taints,
+    summaries_for,
 )
 from .runner import LintReport, format_findings, lint_repo, lint_source
 from .sarif import render_sarif, sarif_payload
 
 __all__ = [
     "Finding",
+    "FlowStep",
     "Severity",
     "Rule",
     "FileRule",
@@ -87,7 +110,16 @@ __all__ = [
     "ModuleInfo",
     "ProjectGraph",
     "build_project",
+    "iter_defined_functions",
     "set_parse_listener",
+    "FnTaint",
+    "TaintEngine",
+    "TaintFlow",
+    "class_attr_taints",
+    "summaries_for",
+    "PurityIndex",
+    "PuritySummary",
+    "purity_index_for",
     "CFG",
     "BasicBlock",
     "Edge",

@@ -60,7 +60,12 @@ from .cfg import (
 )
 from .dataflow import ForwardAnalysis, solve_forward, unit_facts
 from .findings import Finding
-from .project import FunctionInfo, ModuleInfo, module_name_for
+from .project import (
+    FunctionInfo,
+    ModuleInfo,
+    iter_defined_functions,
+    module_name_for,
+)
 
 __all__ = [
     "BlockingCallInAsync",
@@ -171,10 +176,41 @@ def _resolve_written(info: ModuleInfo, dotted: str) -> str:
     return dotted
 
 
+def _self_call_target(
+    modname: str, owner_class: Optional[str], dotted: str
+) -> Optional[str]:
+    """``mod.Class.helper`` behind a ``self.helper()`` / ``cls.helper()``
+    call inside a method of ``owner_class`` (else None)."""
+    head, _, rest = dotted.partition(".")
+    if (
+        head in ("self", "cls")
+        and owner_class is not None
+        and rest
+        and "." not in rest
+    ):
+        return f"{modname}.{owner_class}.{rest}"
+    return None
+
+
+def _owner_class_of(
+    ctx: FileContext, func: FunctionNode
+) -> Optional[str]:
+    """Name of the top-level class whose body holds ``func``, if any."""
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.ClassDef) and any(
+            sub is func for sub in stmt.body
+        ):
+            return stmt.name
+    return None
+
+
 def _project_target(
-    ctx: FileContext, call: ast.Call
-) -> Optional[Tuple[ModuleInfo, FunctionInfo]]:
-    """Resolve a call site to its project-graph function definition."""
+    ctx: FileContext,
+    call: ast.Call,
+    owner_class: Optional[str] = None,
+) -> Optional[Tuple[str, ModuleInfo, FunctionInfo]]:
+    """Resolve a call site to ``(key, module, signature)`` in the
+    project graph; ``self.x()`` resolves through ``owner_class``."""
     if ctx.project is None or ctx.project.graph is None:
         return None
     modname = module_name_for(ctx.module)
@@ -184,11 +220,13 @@ def _project_target(
     raw = _text(call.func)
     if raw is None:
         return None
-    info = graph.modules.get(modname)
-    resolved = (
-        _resolve_written(info, raw) if info is not None else raw
-    )
-    return graph.resolve_call_target(modname, resolved)
+    resolved = _self_call_target(modname, owner_class, raw)
+    if resolved is None:
+        info = graph.modules.get(modname)
+        resolved = (
+            _resolve_written(info, raw) if info is not None else raw
+        )
+    return graph.resolve_callable(modname, resolved)
 
 
 def _blocking_index(project: ProjectContext) -> Dict[str, Tuple[str, ...]]:
@@ -206,36 +244,33 @@ def _blocking_index(project: ProjectContext) -> Dict[str, Tuple[str, ...]]:
     index: Dict[str, Tuple[str, ...]] = {}
     edges: Dict[str, Set[str]] = {}
     if graph is not None:
-        for info in graph.modules.values():
-            for stmt in info.ctx.tree.body:
-                if not isinstance(stmt, ast.FunctionDef):
+        for key, info, owner, func in iter_defined_functions(graph):
+            if isinstance(func, ast.AsyncFunctionDef):
+                continue
+            callees: Set[str] = set()
+            for call in _own_calls(func):
+                dotted = _text(call.func)
+                if dotted is None:
                     continue
-                key = f"{info.name}.{stmt.name}"
-                callees: Set[str] = set()
-                for call in _own_calls(stmt):
-                    dotted = _text(call.func)
-                    if dotted is None:
-                        continue
-                    resolved = _resolve_written(info, dotted)
-                    reason = _blocking_reason(resolved)
-                    if reason is not None and key not in index:
-                        index[key] = (reason,)
-                    target = graph.resolve_call_target(
-                        info.name, resolved
-                    )
-                    if target is not None and not target[1].is_async:
-                        callees.add(
-                            f"{target[0].name}.{target[1].name}"
-                        )
-                edges[key] = callees
-        # propagate taint caller-ward until a fixed point
+                resolved = _self_call_target(
+                    info.name, owner, dotted
+                ) or _resolve_written(info, dotted)
+                reason = _blocking_reason(resolved)
+                if reason is not None and key not in index:
+                    index[key] = (reason,)
+                target = graph.resolve_callable(info.name, resolved)
+                if target is not None and not target[2].is_async:
+                    callees.add(target[0])
+            edges[key] = callees
+        # propagate taint caller-ward until a fixed point (callees
+        # sorted so the chosen chain is hash-seed independent)
         changed = True
         while changed:
             changed = False
             for key, callees in edges.items():
                 if key in index:
                     continue
-                for callee in callees:
+                for callee in sorted(callees):
                     chain = index.get(callee)
                     if chain is not None:
                         short = callee.rsplit(".", 1)[-1]
@@ -269,6 +304,7 @@ class BlockingCallInAsync(FileRule):
             if ctx.project is not None
             else {}
         )
+        owner = _owner_class_of(ctx, node)
         for call in _own_calls(node):
             dotted = ctx.dotted_name(call.func)
             reason = _blocking_reason(dotted)
@@ -283,13 +319,13 @@ class BlockingCallInAsync(FileRule):
                     "(asyncio.to_thread / loop.run_in_executor)",
                 )
                 continue
-            target = _project_target(ctx, call)
-            if target is None or target[1].is_async:
+            target = _project_target(ctx, call, owner)
+            if target is None or target[2].is_async:
                 continue
-            key = f"{target[0].name}.{target[1].name}"
+            key = target[0]
             chain = index.get(key)
             if chain is not None:
-                path = " -> ".join([target[1].name, *chain])
+                path = " -> ".join([target[2].name, *chain])
                 yield ctx.finding(
                     self.id,
                     call,
@@ -343,7 +379,7 @@ class UnawaitedCoroutine(FileRule):
         ):
             return True
         target = _project_target(ctx, call)
-        return target is not None and target[1].is_async
+        return target is not None and target[2].is_async
 
     def check(
         self, node: ast.AST, ctx: FileContext

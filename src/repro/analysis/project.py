@@ -37,11 +37,13 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from .base import FileContext, ProjectContext
@@ -54,10 +56,13 @@ __all__ = [
     "ModuleInfo",
     "ProjectGraph",
     "build_project",
+    "iter_defined_functions",
     "module_name_for",
     "parse_module",
     "set_parse_listener",
 ]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 #: called with the repo-relative path every time a file is parsed;
 #: the parse-count regression test uses it to pin the single-parse
@@ -462,18 +467,46 @@ class ProjectGraph:
                     stack.append((resolved[0].name, resolved[1]))
         return None
 
+    def resolve_callable(
+        self, module: str, dotted: str
+    ) -> Optional[Tuple[str, ModuleInfo, FunctionInfo]]:
+        """(canonical key, defining module, signature) behind a call.
+
+        Resolves module-level functions (key ``mod.fn``) *and* methods
+        spelled ``mod.Class.method`` — the form the call collector
+        records for ``self.helper()`` dispatch — following inheritance
+        through :meth:`find_method` (key names the *defining* class).
+        """
+        resolved = self.resolve_dotted(module, dotted)
+        if resolved is not None:
+            target_mod, name = resolved
+            fn = target_mod.functions.get(name)
+            if fn is not None:
+                return (f"{target_mod.name}.{name}", target_mod, fn)
+        if "." not in dotted:
+            return None
+        head, method = dotted.rsplit(".", 1)
+        cls_resolved = self.resolve_dotted(module, head)
+        if cls_resolved is None:
+            return None
+        owner_mod, cls_name = cls_resolved
+        cls = owner_mod.classes.get(cls_name)
+        if cls is None:
+            return None
+        found = self.find_method(owner_mod.name, cls, method)
+        if found is None:
+            return None
+        def_mod, def_cls, fn = found
+        return (f"{def_mod.name}.{def_cls.name}.{method}", def_mod, fn)
+
     def resolve_call_target(
         self, module: str, dotted: str
     ) -> Optional[Tuple[ModuleInfo, FunctionInfo]]:
         """Function definition behind a resolved call-site target."""
-        resolved = self.resolve_dotted(module, dotted)
-        if resolved is None:
+        out = self.resolve_callable(module, dotted)
+        if out is None:
             return None
-        target_mod, name = resolved
-        fn = target_mod.functions.get(name)
-        if fn is None:
-            return None
-        return (target_mod, fn)
+        return (out[1], out[2])
 
 
 def _collect_module(info: ModuleInfo) -> None:
@@ -535,7 +568,21 @@ def _collect_module(info: ModuleInfo) -> None:
                 )
                 info.import_records.append((target, alias.name))
 
-    # call sites, resolved through the bindings collected above
+    # call sites, resolved through the bindings collected above;
+    # ``self.helper()`` / ``cls.helper()`` inside a class body resolves
+    # to ``{module}.{Class}.helper`` so bound-method dispatch keeps its
+    # call-graph edge instead of dropping on the unbindable ``self``
+    class_spans = [
+        (cls.name, cls.node.lineno, cls.node.end_lineno or cls.node.lineno)
+        for cls in info.classes.values()
+    ]
+
+    def _enclosing_class(lineno: int) -> Optional[str]:
+        for name, start, end in class_spans:
+            if start <= lineno <= end:
+                return name
+        return None
+
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -543,6 +590,13 @@ def _collect_module(info: ModuleInfo) -> None:
         if dotted is None:
             continue
         head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and rest and "." not in rest:
+            owner = _enclosing_class(node.lineno)
+            if owner is not None:
+                info.calls.append(
+                    (f"{info.name}.{owner}.{rest}", node)
+                )
+                continue
         bound = info.bindings.get(head)
         if bound is not None:
             resolved = f"{bound}.{rest}" if rest else bound
@@ -598,6 +652,36 @@ def build_project(
     graph.finalize()
     project_ctx.graph = graph
     return project_ctx, parse_errors
+
+
+def iter_defined_functions(
+    graph: ProjectGraph,
+) -> Iterator[Tuple[str, ModuleInfo, Optional[str], FunctionNode]]:
+    """Every function definition the graph knows, with its canonical
+    callable key: ``(key, module, owning class or None, def node)``.
+
+    Module-level functions key as ``mod.fn``; methods of top-level
+    classes as ``mod.Class.method`` — the same keys
+    :meth:`ProjectGraph.resolve_callable` returns, so interprocedural
+    indices (blocking calls, taint summaries, purity) can join on them.
+    Iteration order is deterministic (module insertion order, then
+    source order).
+    """
+    for info in graph.modules.values():
+        for stmt in info.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield (f"{info.name}.{stmt.name}", info, None, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield (
+                            f"{info.name}.{stmt.name}.{sub.name}",
+                            info,
+                            stmt.name,
+                            sub,
+                        )
 
 
 #: identifier tokens; shared by the dead-public-api reference scan

@@ -1502,13 +1502,24 @@ class UnitConsistency(FileRule):
         if resolved is None:
             return
         tmod, fn = resolved
+        params = fn.params
+        # bound-method dispatch (`self.handler(...)`) passes the
+        # receiver implicitly: positional args start at params[1]
+        if (
+            params
+            and params[0] in ("self", "cls")
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("self", "cls")
+        ):
+            params = params[1:]
         pairs: List[Tuple[str, ast.AST]] = list(
-            zip(fn.params, node.args)
+            zip(params, node.args)
         )
         pairs.extend(
             (kw.arg, kw.value)
             for kw in node.keywords
-            if kw.arg is not None and kw.arg in fn.params
+            if kw.arg is not None and kw.arg in params
         )
         for param, arg in pairs:
             pu, au = _suffix_unit(param), _expr_unit(arg)

@@ -205,7 +205,10 @@ def lint_repo(
 def format_findings(report: LintReport, fmt: str = "text") -> str:
     """Render a report for the CLI (``text``, ``json`` or ``sarif``)."""
     if fmt == "json":
-        return json.dumps(report.to_dict(), indent=2)
+        # sort_keys pins byte-stability against dict-insertion-order
+        # differences between code paths (findings themselves are
+        # already ordered by Finding.sort_key)
+        return json.dumps(report.to_dict(), indent=2, sort_keys=True)
     if fmt == "sarif":
         from .sarif import render_sarif
 
@@ -219,6 +222,8 @@ def format_findings(report: LintReport, fmt: str = "text") -> str:
         lines.append(f.render())
         if f.code:
             lines.append(f"    {f.code}")
+        if f.flow:
+            lines.append(f"    flow: {f.render_flow()}")
     for rule_id, path, code in report.stale_baseline:
         lines.append(
             f"{path}: stale baseline entry [{rule_id}] "

@@ -702,9 +702,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
             return 2
         only_paths = [p for p in only_paths if p.endswith(".py")]
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in available_rules()]
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                "(see repro lint --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
     report = lint_repo(
         root,
         paths=args.paths or None,
+        rule_ids=rule_ids,
         baseline=args.baseline,
         use_baseline=not args.no_baseline,
         only_paths=only_paths,
@@ -1280,6 +1292,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="with --fix: print the unified diff, write nothing",
+    )
+    p_lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule subset to run (e.g. the "
+        "determinism-taint pack CI uploads under its own SARIF "
+        "category); default: all registered rules",
     )
     p_lint.add_argument(
         "--changed",

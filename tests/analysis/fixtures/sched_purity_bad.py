@@ -1,0 +1,24 @@
+"""Bad: a registered scheduler caching state on self.
+
+``schedule`` looks pure at its own level; the mutation hides two hops
+away in ``_note`` — only interprocedural effect lifting catches it.
+(Copied into a mini repo as ``src/repro/sched/impls.py`` by the
+impure-scheduler tests.)
+"""
+
+from .base import Assignment, Scheduler
+from .registry import register
+
+
+@register("sticky")
+class Sticky(Scheduler):
+    def __init__(self):
+        self._hist = []
+
+    def schedule(self, problem) -> Assignment:
+        out = Assignment()
+        self._note(out)
+        return out
+
+    def _note(self, out):
+        self._hist.append(out)

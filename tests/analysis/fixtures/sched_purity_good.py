@@ -1,0 +1,22 @@
+"""Good: a registered scheduler whose schedule() is pure.
+
+Local mutation (building the ranking list) is fine; nothing reachable
+from ``self``, a module global or an argument is ever written.
+(Copied into a mini repo as ``src/repro/sched/impls.py`` by the
+impure-scheduler tests.)
+"""
+
+from .base import Assignment, Scheduler
+from .registry import register
+
+
+@register("stateless")
+class Stateless(Scheduler):
+    def schedule(self, problem) -> Assignment:
+        order = self._rank(problem)
+        return Assignment(order)
+
+    def _rank(self, problem):
+        order = []
+        order.append(problem)
+        return order

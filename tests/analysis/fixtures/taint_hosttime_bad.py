@@ -1,0 +1,29 @@
+"""Bad: host-clock values laundered into the simulated domain.
+
+Every ``perf_counter`` read here is legal on its own (host-cost
+measurement) — the violations are where the values *end up*: an
+``EngineEvent`` field, a raw ``emit`` payload, and virtual-clock
+arithmetic, three assignments and a helper call away from the read.
+"""
+
+import time
+
+from repro.engine.events import RoundCompleted
+
+
+def _elapsed_s(t0):
+    return time.perf_counter() - t0
+
+
+class Runner:
+    def __init__(self, bus):
+        self.bus = bus
+        self.clock_s = 0.0
+        self._started = time.perf_counter()
+
+    def finish_round(self, idx):
+        wall = _elapsed_s(self._started)
+        self.clock_s += wall
+        ev = RoundCompleted(round_idx=idx, time_s=wall)
+        self.bus.emit(ev)
+        self.bus.emit({"wall_s": wall})

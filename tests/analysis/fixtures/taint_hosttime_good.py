@@ -1,0 +1,29 @@
+"""Good: the sanctioned host-timing patterns.
+
+Host cost lives in ``_ms``-suffixed names and event fields (the
+documented convention), the virtual clock advances by simulated
+durations only, and event timestamps come from ``self.clock_s``.
+"""
+
+import time
+
+from repro.engine.events import RoundCompleted
+
+
+def _elapsed_ms(t0):
+    return (time.perf_counter() - t0) * 1e3
+
+
+class Runner:
+    def __init__(self, bus):
+        self.bus = bus
+        self.clock_s = 0.0
+
+    def finish_round(self, idx, makespan_s):
+        t0 = time.perf_counter()
+        self.clock_s += makespan_s
+        build_ms = _elapsed_ms(t0)
+        ev = RoundCompleted(
+            round_idx=idx, time_s=self.clock_s, solve_ms=build_ms
+        )
+        self.bus.emit(ev)

@@ -1,0 +1,30 @@
+"""Bad: unseeded-RNG draws laundered into events and the registry.
+
+The draws hide behind a helper return and an instance attribute; by
+the time the values reach ``CohortSelected``, ``emit`` and the model
+registry's ``commit`` they are several hops from ``default_rng()``.
+"""
+
+from numpy.random import default_rng
+
+from repro.engine.events import CohortSelected
+
+
+def _jitter(scale):
+    rng = default_rng()
+    return rng.normal() * scale
+
+
+class Selector:
+    def __init__(self, bus, registry):
+        self.bus = bus
+        self.registry = registry
+        self._rng = default_rng()
+
+    def pick(self, idx):
+        noise = _jitter(0.5)
+        chosen = self._rng.integers(0, 10)
+        ev = CohortSelected(round_idx=idx, count=chosen)
+        self.bus.emit(noise)
+        self.registry.commit(chosen)
+        return ev

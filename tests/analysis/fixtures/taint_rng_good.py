@@ -1,0 +1,33 @@
+"""Good: seeded generators, and rebinding as the sanitizer.
+
+``default_rng(seed)`` carries only the seed's taint; rebinding the
+scratch unseeded generator to a seeded one *before* any draw means
+every value reaching a sink is replayable.
+"""
+
+from numpy.random import default_rng
+
+from repro.engine.events import CohortSelected
+
+
+def _jitter(seed, scale):
+    rng = default_rng(seed)
+    return rng.normal() * scale
+
+
+class Selector:
+    def __init__(self, bus, registry, seed):
+        self.bus = bus
+        self.registry = registry
+        self.seed = seed
+        self._rng = default_rng(seed)
+
+    def pick(self, idx):
+        rng = default_rng()  # lint: allow[no-unseeded-rng]
+        rng = default_rng(self.seed)
+        noise = _jitter(self.seed, 0.5)
+        chosen = rng.integers(0, 10)
+        ev = CohortSelected(round_idx=idx, count=chosen)
+        self.bus.emit(noise)
+        self.registry.commit(chosen)
+        return ev

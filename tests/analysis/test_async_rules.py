@@ -151,3 +151,39 @@ def test_blocking_call_is_reported_transitively(tmp_path):
     assert len(hits) == 1
     assert hits[0].path.endswith("loop.py")
     assert "retry_forever -> backoff -> time.sleep" in hits[0].message
+
+
+def test_blocking_call_through_two_bound_method_hops(tmp_path):
+    """`self.` dispatch must resolve through the class-aware call
+    graph: the coroutine blocks two method hops away."""
+    pkg = tmp_path / "src" / "repro" / "serve"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "worker.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+
+            class Worker:
+                async def run(self):
+                    self._step()
+
+                def _step(self):
+                    self._io()
+
+                def _io(self):
+                    time.sleep(0.1)
+            """
+        )
+    )
+    report = lint_repo(tmp_path, use_baseline=False)
+    hits = [
+        f
+        for f in report.findings
+        if f.rule_id == BlockingCallInAsync.id
+    ]
+    assert len(hits) == 1
+    assert hits[0].path.endswith("worker.py")
+    assert "_step -> _io -> time.sleep" in hits[0].message

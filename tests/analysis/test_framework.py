@@ -22,6 +22,12 @@ from repro.analysis.asyncrules import (
     TaskLeak,
     UnawaitedCoroutine,
 )
+from repro.analysis.taintrules import (
+    EnvDependentConfig,
+    HostTimeTaint,
+    ImpureScheduler,
+    RngTaintEscape,
+)
 from repro.analysis.rules import (
     BenchPayloadSchema,
     DeadPublicApi,
@@ -46,8 +52,11 @@ EXPECTED_RULES = {
     "bench-payload-schema": BenchPayloadSchema,
     "blocking-call-in-async": BlockingCallInAsync,
     "dead-public-api": DeadPublicApi,
+    "env-dependent-config": EnvDependentConfig,
     "event-dispatch-exhaustiveness": EventDispatchExhaustiveness,
     "event-schema-sync": EventSchemaSync,
+    "host-time-taint": HostTimeTaint,
+    "impure-scheduler": ImpureScheduler,
     "lock-across-await": LockAcrossAwait,
     "metric-doc-drift": MetricDocDrift,
     "no-float-equality": NoFloatEquality,
@@ -55,6 +64,7 @@ EXPECTED_RULES = {
     "no-unseeded-rng": NoUnseededRng,
     "no-wall-clock": NoWallClock,
     "registry-doc-drift": RegistryDocDrift,
+    "rng-taint-escape": RngTaintEscape,
     "scheduler-contract": SchedulerContract,
     "shared-fleet-mutation": SharedFleetMutation,
     "task-leak": TaskLeak,
